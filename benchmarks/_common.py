@@ -1,0 +1,13 @@
+"""Shared helpers for benchmark modules (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import os
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def scale_note() -> str:
+    """One-line provenance header for every emitted table."""
+    return f"(seed={BENCH_SEED}, scale={BENCH_SCALE} of paper population)"

@@ -1,0 +1,82 @@
+"""A3 — ablation of the 3-images-per-pack sampling rule (§4.5).
+
+Reverse-searching every pack image was infeasible for the paper (111k
+images against a paid API), so it samples 3 per pack at the NSFW-score
+extremes, assuming pack images share provenance.  The ablation measures
+what the sampling loses: match-classification agreement and
+provenance-domain recall versus exhaustive querying.
+"""
+
+import pytest
+
+from repro.core import PackSampling, ProvenanceAnalyzer
+
+from _common import scale_note
+
+
+def analyzer_with(bench_world, per_pack):
+    return ProvenanceAnalyzer(
+        bench_world.reverse_index,
+        archive=bench_world.archive,
+        sampling=PackSampling(per_pack=per_pack),
+    )
+
+
+def test_a3(bench_world, bench_report, benchmark, emit):
+    clean_pack_images = [
+        c for c in bench_report.crawl.pack_images if bench_report.abuse.is_clean(c)
+    ]
+    if not clean_pack_images:
+        pytest.skip("no pack images at this scale")
+
+    sampled = benchmark.pedantic(
+        lambda: analyzer_with(bench_world, 3).analyze(clean_pack_images, []),
+        rounds=1,
+        iterations=1,
+    )
+    five = analyzer_with(bench_world, 5).analyze(clean_pack_images, [])
+    exhaustive = analyzer_with(bench_world, 10_000).analyze(clean_pack_images, [])
+
+    def domains_of(result):
+        return set(result.matched_domains)
+
+    def zero_match(result):
+        return result.zero_match_pack_ids
+
+    rows = [
+        ("3 per pack (paper)", sampled),
+        ("5 per pack", five),
+        ("all images", exhaustive),
+    ]
+    full_domains = domains_of(exhaustive)
+    full_zero = zero_match(exhaustive)
+    lines = [
+        "A3 — per-pack sampling vs exhaustive reverse search " + scale_note(),
+        f"packs: {len(bench_report.crawl.packs)}, unique pack images: "
+        f"{len({c.digest for c in clean_pack_images})}",
+        f"{'variant':<22}{'queries':>9}{'domains':>9}{'dom recall':>12}"
+        f"{'zero-match packs':>18}",
+    ]
+    for name, result in rows:
+        domains = domains_of(result)
+        recall = len(domains & full_domains) / max(len(full_domains), 1)
+        lines.append(
+            f"{name:<22}{len(result.pack_outcomes):>9}{len(domains):>9}"
+            f"{recall:>12.1%}{len(zero_match(result)):>18}"
+        )
+    agreement = len(zero_match(sampled) & full_zero) / max(len(full_zero), 1) if full_zero else 1.0
+    lines.append("")
+    lines.append(
+        f"zero-match packs found by sampling that are truly zero-match: {agreement:.0%}"
+    )
+    emit("a3_pack_sampling", "\n".join(lines))
+
+    # Sampling must slash query volume while keeping most domain coverage.
+    assert len(sampled.pack_outcomes) < len(exhaustive.pack_outcomes) or (
+        len({c.digest for c in clean_pack_images}) <= 3 * len(bench_report.crawl.packs)
+    )
+    recall3 = len(domains_of(sampled) & full_domains) / max(len(full_domains), 1)
+    assert recall3 > 0.3
+    # Exhaustive never finds *fewer* zero-match packs false: sampled
+    # zero-match packs must be a superset of truly zero-match packs.
+    assert full_zero <= zero_match(sampled)

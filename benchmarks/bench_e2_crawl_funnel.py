@@ -1,0 +1,62 @@
+"""E2 — §4.2 result: the download funnel.
+
+Paper: links could be extracted from 774 of 4 137 TOPs (18.7%); the
+crawler downloaded 5 788 preview images and 111 288 images in 1 255
+packs; deduplication left 53 948 unique files (some images recur in 20+
+packs).  Shape: a minority of TOPs yield links, pack images dominate the
+volume, and heavy duplication shrinks the unique set by roughly half.
+"""
+
+from repro.web import Crawler, FetchStatus
+
+from _common import scale_note
+
+
+def test_e2(bench_world, bench_report, benchmark, emit):
+    report = bench_report
+    links = report.links
+    crawl = report.crawl
+
+    benchmark.pedantic(
+        lambda: Crawler(bench_world.internet).crawl(links.all_links),
+        rounds=2,
+        iterations=1,
+    )
+
+    n_tops = len(report.tops)
+    with_links = len(links.threads_with_links)
+    n_all = len(crawl.all_images)
+    stats = crawl.stats
+    lines = [
+        "E2 — crawl funnel (§4.2) " + scale_note(),
+        f"TOPs with extractable links: {with_links}/{n_tops} "
+        f"({with_links / max(n_tops, 1):.1%}; paper 774/4 137 = 18.7%)",
+        f"preview links: {len(links.preview_links)} (paper 7 314), "
+        f"pack links: {len(links.pack_links)} (paper 1 719)",
+        "",
+        "link outcomes:",
+    ]
+    for status in FetchStatus:
+        count = stats.count(status)
+        if count:
+            lines.append(f"  {status.value:<24}{count:>7}")
+    lines += [
+        "",
+        f"preview images downloaded : {len(crawl.preview_images)} (paper 5 788)",
+        f"packs downloaded          : {len(crawl.packs)} (paper 1 255)",
+        f"pack images               : {len(crawl.pack_images)} (paper 111 288)",
+        f"unique files after dedup  : {crawl.n_unique_files} of {n_all} "
+        f"({crawl.n_unique_files / max(n_all, 1):.0%}; paper 53 948/117 076 = 46%)",
+    ]
+    histogram = crawl.duplicate_histogram()
+    if histogram:
+        most = max(histogram.values())
+        lines.append(f"most-duplicated file seen {most}× (paper: 127 images in ≥20 packs)")
+    emit("e2_crawl_funnel", "\n".join(lines))
+
+    assert 0.05 < with_links / max(n_tops, 1) < 0.45
+    assert len(crawl.pack_images) > len(crawl.preview_images)
+    if n_all > 500:
+        assert crawl.n_unique_files < n_all  # duplication must exist
+    # Registration walls stop pack downloads, not link extraction.
+    assert stats.count(FetchStatus.REGISTRATION_REQUIRED) >= 0

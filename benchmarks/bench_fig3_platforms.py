@@ -1,0 +1,46 @@
+"""F3 — Figure 3: monthly proof counts using Amazon Gift Cards vs PayPal.
+
+Paper: PayPal dominates until ~2015, the curves cross around 2016, and
+"since 2016 Amazon has become the preferred payment platform".  The
+reproduction aggregates the same series by year for readability and
+asserts the crossover.
+"""
+
+from collections import defaultdict
+
+from repro.finance import PaymentPlatform
+
+from _common import scale_note
+
+
+def test_fig3(bench_report, benchmark, emit):
+    earnings = bench_report.earnings
+    platforms = (PaymentPlatform.AMAZON_GIFT_CARD, PaymentPlatform.PAYPAL)
+
+    series = benchmark(lambda: earnings.monthly_platform_series(platforms))
+
+    yearly = {p: defaultdict(int) for p in platforms}
+    for platform, months in series.items():
+        for month, count in months.items():
+            yearly[platform][month[:4]] += count
+
+    years = sorted(set().union(*(set(d) for d in yearly.values())) or {"-"})
+    lines = [
+        "Figure 3 — proof-of-earnings per platform over time " + scale_note(),
+        f"{'year':<6}{'AGC':>6}{'PayPal':>8}",
+    ]
+    for year in years:
+        lines.append(
+            f"{year:<6}{yearly[platforms[0]].get(year, 0):>6}"
+            f"{yearly[platforms[1]].get(year, 0):>8}"
+        )
+    emit("fig3_platforms", "\n".join(lines))
+
+    early_agc = sum(v for y, v in yearly[platforms[0]].items() if y < "2015")
+    early_pp = sum(v for y, v in yearly[platforms[1]].items() if y < "2015")
+    late_agc = sum(v for y, v in yearly[platforms[0]].items() if y >= "2017")
+    late_pp = sum(v for y, v in yearly[platforms[1]].items() if y >= "2017")
+    if early_agc + early_pp >= 10:
+        assert early_pp > early_agc, "PayPal must dominate the early years"
+    if late_agc + late_pp >= 10:
+        assert late_agc > late_pp, "AGC must dominate after 2016"

@@ -1,0 +1,51 @@
+"""F4 — Figure 4: CDFs of actor activity metrics by cohort.
+
+Paper: four CDF panels over the ≥N-posts cohorts — post counts,
+eWhoring percentage, days posting before, days posting after.  Shapes:
+bigger cohorts concentrate at low post counts; the eWhoring share CDF
+shifts right for heavier cohorts; days-after distributions shift left
+(heavier actors stop posting elsewhere sooner).
+"""
+
+import numpy as np
+
+from _common import scale_note
+
+THRESHOLDS = (1, 10, 50)
+QUANTILES = (0.25, 0.50, 0.75, 0.90)
+
+
+def test_fig4(bench_report, benchmark, emit):
+    metrics = bench_report.actor_analyzer.metrics()
+
+    def panels():
+        result = {}
+        for threshold in THRESHOLDS:
+            cohort = [m for m in metrics.values() if m.n_ewhoring_posts >= threshold]
+            if not cohort:
+                continue
+            result[threshold] = {
+                "posts": np.quantile([m.n_ewhoring_posts for m in cohort], QUANTILES),
+                "pct": np.quantile([m.pct_ewhoring for m in cohort], QUANTILES),
+                "before": np.quantile([m.days_before for m in cohort], QUANTILES),
+                "after": np.quantile([m.days_after for m in cohort], QUANTILES),
+            }
+        return result
+
+    data = benchmark(panels)
+
+    lines = ["Figure 4 — actor metric quantiles by cohort " + scale_note()]
+    for panel in ("posts", "pct", "before", "after"):
+        lines.append("")
+        lines.append(f"{panel} quantiles (p25/p50/p75/p90):")
+        for threshold, row in data.items():
+            values = "/".join(f"{v:8.1f}" for v in row[panel])
+            lines.append(f"  >= {threshold:<4} posts (n={sum(1 for m in metrics.values() if m.n_ewhoring_posts >= threshold):>6}): {values}")
+    emit("fig4_actor_cdfs", "\n".join(lines))
+
+    if 1 in data and 10 in data:
+        # Post-count CDF shifts right with the cohort threshold.
+        assert data[10]["posts"][1] > data[1]["posts"][1]
+        # Days-after mass shifts left for heavier cohorts (Fig 4 bottom-right).
+        if 50 in data:
+            assert data[50]["after"][1] <= data[1]["after"][1] + 1e-9

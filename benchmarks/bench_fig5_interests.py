@@ -1,0 +1,45 @@
+"""F5 — Figure 5: interests of key actors before / during / after eWhoring.
+
+Paper: key actors arrive through gaming and hacking boards; once they
+start eWhoring, market-board activity takes over, with a slight rise of
+the Common category after.  The reproduction prints the category
+percentages per phase and asserts those two transitions.
+"""
+
+from repro.core import interest_evolution
+
+from _common import scale_note
+
+
+def test_fig5(bench_world, bench_report, benchmark, emit):
+    metrics = bench_report.actor_analyzer.metrics()
+    key_ids = bench_report.key_actors.groups.all_key_actors()
+
+    evolution = benchmark.pedantic(
+        lambda: interest_evolution(bench_world.dataset, metrics, key_ids),
+        rounds=3,
+        iterations=1,
+    )
+    percentages = evolution.percentages()
+
+    categories = sorted(
+        {c for row in percentages.values() for c in row}
+    )
+    lines = [
+        f"Figure 5 — interests of {len(key_ids)} key actors " + scale_note(),
+        f"{'category':<12}" + "".join(f"{phase:>10}" for phase in ("before", "during", "after")),
+    ]
+    for category in categories:
+        lines.append(
+            f"{category:<12}"
+            + "".join(f"{percentages[phase].get(category, 0.0):>9.1f}%" for phase in ("before", "during", "after"))
+        )
+    lines.append("(paper: gaming/hacking lead before; market dominates during/after)")
+    emit("fig5_interests", "\n".join(lines))
+
+    before = percentages["before"]
+    during = percentages["during"]
+    if before and during:
+        assert during.get("Market", 0) > before.get("Market", 0)
+        assert before.get("Gaming", 0) > during.get("Gaming", 0)
+        assert before.get("Gaming", 0) + before.get("Hacking", 0) > before.get("Market", 0)

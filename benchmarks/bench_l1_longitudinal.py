@@ -1,0 +1,52 @@
+"""L1 — the longitudinal frame of the study (§1/§3).
+
+The paper's dataset spans 11/2008–03/2019 with activity growing over
+the decade (Hackforums' dedicated board accumulates >36k threads).
+This benchmark reproduces the longitudinal frame: the activity
+timeline's span, the growth of the community, and the recruitment
+(new-actors-per-month) series behind the "gateway into offending"
+narrative.
+"""
+
+from repro.core.longitudinal import activity_timeline, new_actor_series
+
+from _common import scale_note
+
+
+def test_l1(bench_world, bench_report, benchmark, emit):
+    dataset = bench_world.dataset
+    selection = bench_report.selection
+
+    timeline = benchmark.pedantic(
+        lambda: activity_timeline(dataset, selection), rounds=2, iterations=1
+    )
+    recruits = new_actor_series(dataset, selection)
+
+    yearly_posts = timeline.posts.yearly()
+    yearly_recruits = recruits.yearly()
+    years = sorted(set(yearly_posts) | set(yearly_recruits))
+
+    lines = [
+        "L1 — longitudinal activity " + scale_note(),
+        f"span: {timeline.first_post:%m/%Y} – {timeline.last_post:%m/%Y} "
+        f"({timeline.span_years:.1f} years; paper: 11/2008 – 03/2019)",
+        f"growth ratio (last third / first third of the span): "
+        f"{timeline.growth_ratio():.1f}x",
+        "",
+        f"{'year':<6}{'posts':>8}{'new actors':>12}",
+    ]
+    for year in years:
+        lines.append(
+            f"{year:<6}{yearly_posts.get(year, 0):>8}{yearly_recruits.get(year, 0):>12}"
+        )
+    peak = timeline.posts.peak_month()
+    if peak:
+        lines.append(f"peak month: {peak[0]} ({peak[1]} posts)")
+    emit("l1_longitudinal", "\n".join(lines))
+
+    assert timeline.span_years > 8.0, "the decade-long frame must hold"
+    assert timeline.growth_ratio() > 1.5, "activity must grow over the span"
+    assert recruits.total == len(
+        {p.author_id for t in selection
+         for p in dataset.posts_in_thread(t.thread_id)}
+    )

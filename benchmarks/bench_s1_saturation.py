@@ -1,0 +1,57 @@
+"""S1 — §4.2 saturation findings: image reuse across packs.
+
+Paper: "127 images were found in at least 20 different packs"; 53 948
+unique files among 117 076 downloads (54% duplication).  This benchmark
+reproduces the reuse distribution and the per-pack saturation structure
+the community's 'unsaturated' vocabulary refers to, and connects it to
+reverse-search visibility: saturated packs are the ones reverse search
+catches.
+"""
+
+import numpy as np
+
+from repro.core.saturation import analyze_saturation
+
+from _common import BENCH_SCALE, scale_note
+
+
+def test_s1(bench_report, benchmark, emit):
+    crawl = bench_report.crawl
+
+    report = benchmark.pedantic(
+        lambda: analyze_saturation(crawl), rounds=2, iterations=1
+    )
+
+    # Threshold scaled from the paper's "≥20 packs" at 1 255 packs.
+    scaled_threshold = max(2, int(round(20 * len(crawl.packs) / 1255)))
+    histogram = report.reuse_histogram()
+    max_reuse = max(histogram, default=0)
+
+    lines = [
+        "S1 — pack saturation (§4.2) " + scale_note(),
+        f"packs: {len(crawl.packs)}, unique pack images: {report.n_unique_images}",
+        f"duplication: {report.n_unique_images} unique of "
+        f"{len(crawl.pack_images)} pack-image downloads "
+        f"({report.n_unique_images / max(len(crawl.pack_images), 1):.0%} unique; paper 46%)",
+        "",
+        "image-reuse distribution (packs carrying an image → #images):",
+    ]
+    for count in sorted(histogram)[:8]:
+        lines.append(f"  {count:>3} packs: {histogram[count]:>6} images")
+    lines += [
+        f"  max reuse: one image in {max_reuse} packs",
+        f"images in >= {scaled_threshold} packs: {report.images_in_at_least(scaled_threshold)} "
+        f"(paper: 127 in >= 20 of 1 255 packs)",
+        "",
+        f"mean per-pack saturation index: {report.mean_saturation():.0%}",
+        f"fully fresh packs: {len(report.fully_fresh_packs())}/{len(report.per_pack)}",
+        f"packs >= 50% recycled: {len(report.saturated_packs())}/{len(report.per_pack)}",
+    ]
+    emit("s1_saturation", "\n".join(lines))
+
+    if len(crawl.packs) >= 10:
+        assert report.images_in_at_least(2) > 0, "free packs must show reuse"
+        assert report.n_unique_images < len(crawl.pack_images)
+        # Chronological saturation: later packs recycle earlier material,
+        # so fresh packs are a minority once the corpus is big enough.
+        assert len(report.fully_fresh_packs()) < len(report.per_pack)

@@ -1,0 +1,76 @@
+"""S2 — seed stability: are the reproduced shapes seed artefacts?
+
+Every headline ratio the reproduction reports should be a property of
+the calibrated generative model, not of one lucky seed.  This benchmark
+builds three small worlds under different seeds and reports the spread
+of the key ratio metrics; the assertions bound that spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_world, run_pipeline
+from repro.synth import WorldConfig
+
+from _common import scale_note
+
+SEEDS = (101, 202, 303)
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = []
+    for seed in SEEDS:
+        world = build_world(WorldConfig(seed=seed, scale=SCALE))
+        out.append(run_pipeline(world))
+    return out
+
+
+def test_s2(reports, benchmark, emit):
+    def metrics_of(report):
+        packs = report.provenance.summary("packs")
+        previews = report.provenance.summary("previews")
+        links_rate = len(report.links.threads_with_links) / max(len(report.tops), 1)
+        return {
+            "classifier F1": report.top_evaluation.f1,
+            "TOP link rate": links_rate,
+            "pack match rate": packs.match_rate,
+            "preview match rate": previews.match_rate,
+            "NSFV preview share": report.n_nsfv_previews / max(len(report.preview_verdicts), 1),
+            "mean $/actor (k)": report.earnings.mean_per_actor_usd / 1000.0,
+            "mean $/transaction": report.earnings.mean_transaction_usd(),
+        }
+
+    rows = benchmark.pedantic(
+        lambda: [metrics_of(r) for r in reports], rounds=1, iterations=1
+    )
+
+    lines = [
+        f"S2 — seed stability over seeds {SEEDS} at scale {SCALE} " + scale_note(),
+        f"{'metric':<22}{'mean':>9}{'std':>9}{'values':>30}",
+    ]
+    spreads = {}
+    for key in rows[0]:
+        values = np.array([row[key] for row in rows])
+        spreads[key] = (float(values.mean()), float(values.std()))
+        lines.append(
+            f"{key:<22}{values.mean():>9.3f}{values.std():>9.3f}"
+            f"{'  '.join(f'{v:.3f}' for v in values):>30}"
+        )
+    lines.append("")
+    lines.append("paper reference points: F1 0.92; link rate 0.187; pack match 0.74;")
+    lines.append("preview match 0.49; NSFV share 0.60; $0.774k/actor; $41.90/tx")
+    emit("s2_seed_stability", "\n".join(lines))
+
+    # Shape invariants must hold under EVERY seed, not on average.
+    for report in reports:
+        packs = report.provenance.summary("packs")
+        previews = report.provenance.summary("previews")
+        assert packs.match_rate > previews.match_rate
+        assert report.top_evaluation.f1 > 0.75
+        assert 0.05 < len(report.links.threads_with_links) / max(len(report.tops), 1) < 0.45
+        assert 15 < report.earnings.mean_transaction_usd() < 110
+    # And the cross-seed spread on the headline ratios stays bounded.
+    assert spreads["pack match rate"][1] < 0.15
+    assert spreads["mean $/transaction"][1] < 25.0

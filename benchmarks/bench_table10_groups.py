@@ -1,0 +1,63 @@
+"""T10 — Table 10: characteristics of key actors, aggregated by group.
+
+Paper (group means): popular actors post most overall (1 089.9) and
+share the most packs (9.6); earners report the highest amounts (512.1);
+CE actors dominate currency-exchange threads (105.4) with the lowest
+eWhoring share (9.5%).  Shape: each group leads on its own defining
+metric.
+"""
+
+from _common import scale_note
+
+PAPER = {
+    "P": (1089.9, 30.0, 246.2, 189.9, 11.7, 14.4, 2.5, 9.6, 26.6),
+    "I": (895.3, 49.2, 186.2, 170.3, 10.8, 12.3, 1.8, 5.6, 19.5),
+    "Hi": (856.2, 33.9, 222.4, 328.9, 12.3, 14.9, 1.8, 5.8, 28.6),
+    "$": (532.3, 44.4, 103.6, 512.1, 8.0, 8.0, 1.0, 4.1, 10.4),
+    "Ce": (275.3, 9.5, 150.1, 185.9, 6.8, 6.2, 0.2, 2.3, 105.4),
+    "ALL": (481.4, 37.9, 127.0, 449.0, 8.1, 8.0, 0.9, 4.2, 19.5),
+}
+# Paper label → our group key.
+LABELS = {"packs": "P", "influence": "I", "popular": "Hi", "earnings": "$", "ce": "Ce",
+          "ALL": "ALL"}
+
+COLUMNS = ("n_posts", "pct_ewhoring", "days_before", "amount",
+           "h_index", "i10", "i100", "packs", "ce_threads")
+
+
+def test_table10(bench_world, bench_report, benchmark, emit):
+    selection = bench_report.key_actors
+
+    table = benchmark(selection.group_characteristics)
+
+    lines = [
+        "Table 10 — key-actor characteristics by group " + scale_note(),
+        f"{'group':<10}" + "".join(f"{c:>12}" for c in COLUMNS),
+    ]
+    for group, row in table.items():
+        if not row:
+            continue
+        label = LABELS.get(group, group)
+        lines.append(
+            f"{group:<10}" + "".join(f"{row[c]:>12.1f}" for c in COLUMNS)
+        )
+        paper = PAPER.get(label)
+        if paper:
+            lines.append(
+                f"  paper({label:<3})" + "".join(f"{v:>12.1f}" for v in paper)
+            )
+    emit("table10_groups", "\n".join(lines))
+
+    # Shape assertions: each group leads on its defining metric.
+    rows = {k: v for k, v in table.items() if v}
+    if {"packs", "earnings", "ce", "popular"} <= set(rows):
+        others_max = max(v["packs"] for k, v in rows.items() if k not in ("packs", "ALL"))
+        assert rows["packs"]["packs"] >= others_max
+        others_max = max(v["amount"] for k, v in rows.items() if k not in ("earnings", "ALL"))
+        assert rows["earnings"]["amount"] >= others_max
+        # CE actors out-trade every non-sharing group (pack sharers also
+        # cash out heavily, as the paper's Table 10 shows: P group 26.6).
+        for other in ("popular", "influence", "earnings"):
+            assert rows["ce"]["ce_threads"] >= rows[other]["ce_threads"] - 1e-9
+        assert rows["popular"]["h_index"] >= rows["earnings"]["h_index"] - 1e-9
+        assert rows["popular"]["h_index"] >= rows["ce"]["h_index"] - 1e-9

@@ -1,0 +1,63 @@
+"""T1 — Table 1: eWhoring threads, posts, TOPs and actors per forum.
+
+Paper (full scale): Hackforums 42 292 threads / 596 827 posts / 4 027
+TOPs / 64 035 actors, down to four small forums with ≤6 threads each;
+44 520 threads, 626 784 posts, 4 137 TOPs, 72 982 actors in total.  The
+benchmark world scales every population by BENCH_SCALE, so the check is
+the *shape*: forum ordering, Hackforums dominance, zero TOPs on
+BlackHatWorld.
+"""
+
+from repro.forum import ewhoring_threads, forum_summaries
+
+from _common import scale_note
+
+#: Paper row order (Table 1), for side-by-side presentation.
+PAPER_ROWS = {
+    "Hackforums": (42_292, 596_827, 4_027, 64_035),
+    "OGUsers": (1_744, 23_974, 76, 5_586),
+    "BlackHatWorld": (258, 2_694, 0, 1_420),
+    "V3rmillion": (95, 1_348, 6, 697),
+    "MPGH": (62, 922, 12, 341),
+    "RaidForums": (48, 405, 10, 318),
+}
+
+
+def test_table1(bench_world, bench_report, benchmark, emit):
+    dataset = bench_world.dataset
+
+    summaries = benchmark(lambda: forum_summaries(dataset))
+
+    tops_per_forum = bench_report.tops_per_forum
+    lines = [
+        "Table 1 — eWhoring-related conversations per forum " + scale_note(),
+        f"{'Forum':<16}{'#Threads':>10}{'#Posts':>10}{'First':>8}{'#TOPs':>8}{'#Actors':>9}"
+        f"   | paper (full scale): threads/posts/TOPs/actors",
+    ]
+    for summary in summaries:
+        paper = PAPER_ROWS.get(summary.forum_name)
+        paper_str = (
+            f"{paper[0]:>7}/{paper[1]:>7}/{paper[2]:>5}/{paper[3]:>6}"
+            if paper
+            else "(aggregated as 'Others' in the paper)"
+        )
+        lines.append(
+            f"{summary.forum_name:<16}{summary.n_threads:>10}{summary.n_posts:>10}"
+            f"{summary.first_post or '-':>8}{tops_per_forum.get(summary.forum_name, 0):>8}"
+            f"{summary.n_actors:>9}   | {paper_str}"
+        )
+    total_threads = sum(s.n_threads for s in summaries)
+    total_posts = sum(s.n_posts for s in summaries)
+    total_actors = sum(s.n_actors for s in summaries)
+    lines.append(
+        f"{'TOTAL':<16}{total_threads:>10}{total_posts:>10}{'':>8}"
+        f"{sum(tops_per_forum.values()):>8}{total_actors:>9}"
+        f"   | {44_520:>7}/{626_784:>7}/{4_137:>5}/{72_982:>6}"
+    )
+    emit("table1_forums", "\n".join(lines))
+
+    # Shape assertions: forum ordering and the BHW moderation effect.
+    names = [s.forum_name for s in summaries]
+    assert names[0] == "Hackforums"
+    assert summaries[0].n_threads > 10 * summaries[1].n_threads
+    assert tops_per_forum.get("BlackHatWorld", 0) <= 1

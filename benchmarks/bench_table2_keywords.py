@@ -1,0 +1,75 @@
+"""T2 — Table 2: methodology keyword lexicons and their coverage.
+
+Table 2 is the methodology's keyword inventory.  The reproduction prints
+each lexicon verbatim and measures its *coverage*: how often each
+lexicon fires on the ground-truth thread class it was designed for
+(e.g. pack keywords on true TOP headings) versus on other classes —
+the signal-to-noise the classifiers build on.
+"""
+
+from repro.core import (
+    EARNINGS_KEYWORDS,
+    EWHORING_KEYWORDS,
+    PACK_KEYWORDS,
+    REQUEST_KEYWORDS,
+    TUTORIAL_KEYWORDS,
+)
+
+from _common import scale_note
+
+LEXICON_TARGETS = [
+    (PACK_KEYWORDS, "top"),
+    (REQUEST_KEYWORDS, "request"),
+    (TUTORIAL_KEYWORDS, "tutorial"),
+]
+
+
+def coverage(bench_world):
+    dataset = bench_world.dataset
+    types = bench_world.forums.thread_types
+    rows = []
+    headings_by_type = {}
+    for thread in dataset.threads():
+        headings_by_type.setdefault(types[thread.thread_id], []).append(thread.heading)
+    for lexicon, target in LEXICON_TARGETS:
+        on_target = headings_by_type.get(target, [])
+        off_target = [
+            h for t, hs in headings_by_type.items() if t not in (target, "other", "ce")
+            for h in hs
+        ]
+        hit_on = sum(1 for h in on_target if lexicon.matches(h))
+        hit_off = sum(1 for h in off_target if lexicon.matches(h))
+        rows.append(
+            (
+                lexicon.name,
+                len(lexicon),
+                hit_on / max(len(on_target), 1),
+                hit_off / max(len(off_target), 1),
+            )
+        )
+    return rows
+
+
+def test_table2(bench_world, benchmark, emit):
+    rows = benchmark(coverage, bench_world)
+
+    lines = [
+        "Table 2 — methodology keywords " + scale_note(),
+        "",
+        f"eWhoring selection: {', '.join(EWHORING_KEYWORDS.entries)}",
+        f"TOP keywords ({len(PACK_KEYWORDS)}): {', '.join(PACK_KEYWORDS.entries)}",
+        f"Request keywords ({len(REQUEST_KEYWORDS)}): {', '.join(REQUEST_KEYWORDS.entries)}",
+        f"Tutorial keywords ({len(TUTORIAL_KEYWORDS)}): {', '.join(TUTORIAL_KEYWORDS.entries)}",
+        f"Earnings keywords ({len(EARNINGS_KEYWORDS)}): {', '.join(EARNINGS_KEYWORDS.entries)}",
+        "",
+        "Lexicon coverage on ground-truth thread classes:",
+        f"{'lexicon':<12}{'#entries':>9}{'on-target hit rate':>20}{'off-target hit rate':>21}",
+    ]
+    for name, n, on_rate, off_rate in rows:
+        lines.append(f"{name:<12}{n:>9}{on_rate:>20.2%}{off_rate:>21.2%}")
+    emit("table2_keywords", "\n".join(lines))
+
+    by_name = {name: (on, off) for name, _, on, off in rows}
+    # Each lexicon must fire far more often on its target class.
+    for name, (on_rate, off_rate) in by_name.items():
+        assert on_rate > 2 * off_rate, name

@@ -1,0 +1,62 @@
+"""T3/T4 — Tables 3 and 4: links per image-sharing site / cloud service.
+
+Paper (full scale): 7 314 image-sharing links led by imgur (3 297),
+Gyazo (1 006), ImageShack (679); 1 719 cloud links led by MediaFire
+(892), mega (284), Dropbox (130).  The shape to reproduce is the ranking
+and the rough proportions.
+"""
+
+from repro.core import extract_links
+from repro.web import ServiceKind
+
+from _common import scale_note
+
+PAPER_T3 = [("imgur", 3297), ("Gyazo", 1006), ("ImageShack", 679), ("prnt", 383),
+            ("photobucket", 311)]
+PAPER_T4 = [("MediaFire", 892), ("mega", 284), ("Dropbox", 130), ("oron", 95),
+            ("depositfiles", 46)]
+
+
+def test_tables_3_and_4(bench_world, bench_report, benchmark, emit):
+    dataset = bench_world.dataset
+    tops = bench_report.tops
+
+    extraction = benchmark.pedantic(
+        lambda: extract_links(dataset, tops), rounds=3, iterations=1
+    )
+
+    def table(kind, paper_rows, total_paper):
+        counts = extraction.links_per_domain(kind)
+        total = sum(counts.values())
+        lines = [
+            f"{'Site':<22}{'#Links':>8}{'share':>8}   | paper share",
+            ]
+        paper_share = {name.lower(): count / total_paper for name, count in paper_rows}
+        for domain, count in sorted(counts.items(), key=lambda kv: -kv[1])[:12]:
+            name = domain.split(".")[0]
+            reference = paper_share.get(name.lower())
+            ref = f"{reference:.1%}" if reference is not None else "-"
+            lines.append(f"{domain:<22}{count:>8}{count / total:>8.1%}   | {ref}")
+        lines.append(f"{'Total':<22}{total:>8}")
+        return lines, counts, total
+
+    t3_lines, t3_counts, t3_total = table(ServiceKind.IMAGE_SHARING, PAPER_T3, 7314)
+    t4_lines, t4_counts, t4_total = table(ServiceKind.CLOUD_STORAGE, PAPER_T4, 1719)
+
+    emit(
+        "table34_links",
+        "\n".join(
+            ["Table 3 — links per image sharing site " + scale_note()]
+            + t3_lines
+            + ["", "Table 4 — links per cloud storage service"]
+            + t4_lines
+        ),
+    )
+
+    # Shape: the paper's leaders lead here too, and image-sharing links
+    # outnumber cloud links by roughly 4:1 (7 314 vs 1 719).
+    if t3_counts:
+        assert max(t3_counts, key=t3_counts.get) == "imgur.com"
+    if t4_total >= 20:
+        assert max(t4_counts, key=t4_counts.get) == "mediafire.com"
+    assert 2.0 < t3_total / max(t4_total, 1) < 9.0

@@ -1,0 +1,45 @@
+"""T7 — Table 7: Currency Exchange threads of heavy eWhoring actors.
+
+Paper (9 066 threads by 686 actors): offered — PayPal 3 707, BTC 2 763,
+AGC 1 498, ? 839, others 259; wanted — BTC 4 626, PayPal 2 801, ? 1 128,
+AGC 310, others 201.  Shape: BTC is the most *wanted* currency while AGC
+is offered ~5× more than it is wanted (profits flow AGC/PayPal → BTC).
+"""
+
+from repro.core import currency_exchange_table
+from repro.finance import CANONICAL_CURRENCIES
+
+from _common import scale_note
+
+PAPER_OFFERED = {"PayPal": 3707, "BTC": 2763, "AGC": 1498, "?": 839, "others": 259}
+PAPER_WANTED = {"PayPal": 2801, "BTC": 4626, "AGC": 310, "?": 1128, "others": 201}
+
+
+def test_table7(bench_world, bench_report, benchmark, emit):
+    dataset = bench_world.dataset
+
+    table = benchmark.pedantic(
+        lambda: currency_exchange_table(dataset, min_ewhoring_posts=50),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "Table 7 — currency exchange by actors with >50 eWhoring posts "
+        + scale_note(),
+        f"threads={table.n_threads} actors={table.n_actors} "
+        f"(paper: 9 066 threads, 686 actors)",
+        f"{'Currency':<10}{'Offered':>9}{'Wanted':>9}   | paper offered/wanted",
+    ]
+    for currency in CANONICAL_CURRENCIES:
+        lines.append(
+            f"{currency:<10}{table.offered.get(currency, 0):>9}"
+            f"{table.wanted.get(currency, 0):>9}"
+            f"   | {PAPER_OFFERED.get(currency, 0)}/{PAPER_WANTED.get(currency, 0)}"
+        )
+    emit("table7_currency", "\n".join(lines))
+
+    if table.n_threads >= 50:
+        assert table.wanted.get("BTC", 0) == max(table.wanted.values())
+        assert table.offered.get("AGC", 0) > 2 * table.wanted.get("AGC", 1)
+        assert table.offered.get("PayPal", 0) > table.offered.get("AGC", 0)

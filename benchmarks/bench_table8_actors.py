@@ -1,0 +1,53 @@
+"""T8 — Table 8: actor cohorts by eWhoring post count.
+
+Paper (full scale): ≥1 post: 72 982 actors, mean 8.8 posts, 23.3%
+eWhoring share, 165.3 days before / 474.2 after; shrinking to 13 actors
+at ≥1000 posts with 412.6 days before.  Shape: cohort sizes fall steeply,
+mean posts rise, the eWhoring share grows with involvement, and the
+days-after column declines as actors specialise.
+"""
+
+from repro.core import ActorAnalyzer, cohort_table
+
+from _common import scale_note
+
+PAPER_ROWS = {
+    1: (72_982, 8.8, 23.3, 165.3, 474.2),
+    10: (13_014, 37.6, 22.8, 142.7, 449.7),
+    50: (2_146, 126.9, 26.0, 133.8, 293.8),
+    100: (815, 222.4, 29.1, 132.8, 210.1),
+    200: (263, 402.3, 34.9, 153.6, 165.7),
+    500: (46, 930.8, 40.6, 157.4, 157.8),
+    1000: (13, 1566.8, 37.5, 412.6, 137.3),
+}
+
+
+def test_table8(bench_world, bench_report, benchmark, emit):
+    metrics = bench_report.actor_analyzer.metrics()
+
+    rows = benchmark(lambda: cohort_table(metrics))
+
+    lines = [
+        "Table 8 — actors by eWhoring post count " + scale_note(),
+        f"{'#Posts':>8}{'#Actors':>9}{'Avg posts':>11}{'%ewhor':>8}{'Before':>8}{'After':>8}"
+        "   | paper: actors/avg/%/before/after",
+    ]
+    for row in rows:
+        paper = PAPER_ROWS[row.threshold]
+        lines.append(
+            f">= {row.threshold:<5}{row.n_actors:>9}{row.mean_posts:>11.1f}"
+            f"{row.mean_pct_ewhoring:>8.1f}{row.mean_days_before:>8.1f}"
+            f"{row.mean_days_after:>8.1f}"
+            f"   | {paper[0]}/{paper[1]}/{paper[2]}/{paper[3]}/{paper[4]}"
+        )
+    emit("table8_actors", "\n".join(lines))
+
+    nonempty = [r for r in rows if r.n_actors > 0]
+    counts = [r.n_actors for r in nonempty]
+    assert counts == sorted(counts, reverse=True)
+    means = [r.mean_posts for r in nonempty]
+    assert means == sorted(means)
+    # Band-size ratio ≥1 : ≥10 tracks the paper's 72 982 : 13 014 ≈ 5.6.
+    if len(nonempty) >= 2:
+        ratio = nonempty[0].n_actors / nonempty[1].n_actors
+        assert 3.0 < ratio < 10.0

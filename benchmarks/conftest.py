@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures: one world + one pipeline run per session.
+
+Benchmarks regenerate every table and figure of the paper from a seeded
+synthetic world.  The default scale (0.05 of the paper's population
+sizes) keeps a full benchmark run in the minutes range; set
+``REPRO_BENCH_SCALE`` to 1.0 for a paper-sized world.
+
+Each benchmark writes its reproduced table to ``benchmarks/results/``
+and prints it (visible with ``pytest -s``), while the pytest-benchmark
+fixture times the stage's core computation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import build_world, run_pipeline
+from repro.synth import WorldConfig
+
+from _common import BENCH_SCALE, BENCH_SEED, scale_note  # noqa: F401
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The benchmark world (Table 1 populations × BENCH_SCALE)."""
+    return build_world(WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_report(bench_world):
+    """One full pipeline run over the benchmark world."""
+    return run_pipeline(bench_world)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Callable writing a named result table to disk and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Actor study (§6): who does eWhoring, and what else do they do?
+
+Builds the interaction network, computes popularity indices and
+eigenvector centrality, selects the five key-actor groups, and traces
+the interest shift of Figure 5.
+
+Run:  python examples/actor_study.py
+"""
+
+from repro import build_world
+from repro.core import (
+    ActorAnalyzer,
+    cohort_table,
+    interest_evolution,
+    select_key_actors,
+)
+
+
+def main() -> None:
+    import sys
+
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.04
+    world = build_world(seed=5, scale=scale)
+    dataset = world.dataset
+
+    analyzer = ActorAnalyzer(dataset)
+    metrics = analyzer.metrics()
+    analyzer.attach_currency_exchange()
+
+    print(f"interaction graph: {len(metrics)} actors, {len(analyzer.edges())} edges")
+
+    # Table 8: activity cohorts.
+    print("\nactivity cohorts (Table 8):")
+    print(f"  {'#posts':>8}{'actors':>8}{'avg':>8}{'%ewh':>7}{'before':>8}{'after':>8}")
+    for row in cohort_table(metrics):
+        if row.n_actors == 0:
+            continue
+        print(f"  >= {row.threshold:<5}{row.n_actors:>8}{row.mean_posts:>8.1f}"
+              f"{row.mean_pct_ewhoring:>7.1f}{row.mean_days_before:>8.0f}"
+              f"{row.mean_days_after:>8.0f}")
+
+    # Key actors: attach pack counts from ground truth TOP authorship for
+    # this standalone example (the full pipeline derives them from the
+    # classifier's TOP set).
+    packs_per_actor: dict = {}
+    for thread_id, thread_type in world.forums.thread_types.items():
+        if thread_type == "top":
+            author = dataset.thread(thread_id).author_id
+            packs_per_actor[author] = packs_per_actor.get(author, 0) + 1
+    analyzer.attach_packs(packs_per_actor)
+
+    selection = select_key_actors(metrics, top_n=15)
+    print(f"\nkey actors: {selection.n_key_actors} across 5 groups")
+    for name, group in selection.groups.as_dict().items():
+        members = [metrics[a] for a in group]
+        if not members:
+            continue
+        mean_posts = sum(m.n_ewhoring_posts for m in members) / len(members)
+        print(f"  {name:<10} n={len(group):<4} mean eWhoring posts={mean_posts:.0f}")
+
+    counts = selection.membership_counts()
+    multi = sum(1 for v in counts.values() if v >= 2)
+    print(f"  actors in 2+ groups: {multi}")
+
+    # Figure 5: interests before/during/after.
+    evolution = interest_evolution(dataset, metrics, selection.groups.all_key_actors())
+    print("\ninterest evolution of key actors (Figure 5):")
+    pct = evolution.percentages()
+    categories = sorted({c for row in pct.values() for c in row})
+    print(f"  {'category':<10}" + "".join(f"{p:>9}" for p in ("before", "during", "after")))
+    for category in categories:
+        print(f"  {category:<10}"
+              + "".join(f"{pct[phase].get(category, 0):>8.1f}%" for phase in ("before", "during", "after")))
+
+
+if __name__ == "__main__":
+    main()

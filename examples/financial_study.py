@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Financial study (§5): how much does eWhoring pay, and through what?
+
+Runs the proof-of-earnings pipeline and the Currency Exchange analysis,
+then prints the Figure 2 / Figure 3 / Table 7 views as text.
+
+Run:  python examples/financial_study.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import build_world
+from repro.core import EarningsAnalyzer, currency_exchange_table
+from repro.finance import CANONICAL_CURRENCIES, PaymentPlatform
+
+
+def ascii_bar(value: float, maximum: float, width: int = 30) -> str:
+    filled = int(round(width * value / maximum)) if maximum else 0
+    return "#" * filled
+
+
+def main() -> None:
+    import sys
+
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.04
+    world = build_world(seed=41, scale=scale)
+    analyzer = EarningsAnalyzer(
+        world.dataset,
+        world.internet,
+        world.hashlist,
+        annotator=world.forums.proof_truth.get,
+    )
+    result = analyzer.analyze()
+
+    print("funnel:", f"{result.n_threads_matched} threads ->",
+          f"{result.n_posts_with_links} posts ->",
+          f"{result.n_unique_urls} URLs ->",
+          f"{result.n_downloaded} downloads ->",
+          f"{result.n_proofs} proofs (+{result.n_non_proofs} non-proofs,",
+          f"{result.n_indecent_filtered} indecent filtered)")
+
+    totals = result.per_actor_totals()
+    print(f"\n{len(totals)} actors reported ${result.total_usd:,.0f} total; "
+          f"mean ${result.mean_per_actor_usd:,.0f}, "
+          f"top ${max(totals.values(), default=0):,.0f}")
+    print(f"mean itemised transaction: ${result.mean_transaction_usd():.2f}")
+
+    # Figure 2 (left): earnings CDF.
+    cdf = result.earnings_cdf()
+    print("\nearnings CDF (share of actors at or below):")
+    for threshold in (100, 500, 1000, 5000):
+        share = float(np.mean(cdf <= threshold)) if cdf.size else 0.0
+        print(f"  ${threshold:>5}: {share:6.1%} {ascii_bar(share, 1.0)}")
+
+    # Figure 3: platform evolution by year.
+    platforms = (PaymentPlatform.AMAZON_GIFT_CARD, PaymentPlatform.PAYPAL)
+    series = result.monthly_platform_series(platforms)
+    yearly = {p: defaultdict(int) for p in platforms}
+    for platform, months in series.items():
+        for month, count in months.items():
+            yearly[platform][month[:4]] += count
+    years = sorted(set(yearly[platforms[0]]) | set(yearly[platforms[1]]))
+    print("\nproofs per platform per year (Figure 3):")
+    peak = max((max(d.values(), default=1) for d in yearly.values()), default=1)
+    for year in years:
+        agc = yearly[platforms[0]].get(year, 0)
+        paypal = yearly[platforms[1]].get(year, 0)
+        print(f"  {year}  AGC {agc:>3} {ascii_bar(agc, peak, 20):<20} "
+              f"PayPal {paypal:>3} {ascii_bar(paypal, peak, 20)}")
+
+    # Table 7: currency exchange.
+    table = currency_exchange_table(world.dataset, min_ewhoring_posts=50)
+    print(f"\nCurrency Exchange ({table.n_threads} threads by {table.n_actors} "
+          "heavy eWhoring actors):")
+    print(f"  {'currency':<9}{'offered':>9}{'wanted':>9}")
+    for currency in CANONICAL_CURRENCIES:
+        print(f"  {currency:<9}{table.offered.get(currency, 0):>9}"
+              f"{table.wanted.get(currency, 0):>9}")
+    print("  (profits flow: AGC/PayPal offered, Bitcoin wanted)")
+
+
+if __name__ == "__main__":
+    main()

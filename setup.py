@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands:
+
+* ``repro build``  — generate a synthetic world and save its forum
+  dataset as JSONL;
+* ``repro run``    — generate a world, run the full pipeline, print the
+  measurement digest (optionally writing each table to a directory);
+* ``repro tables`` — like ``run``, but only writes the table files.
+
+Examples::
+
+    repro run --seed 7 --scale 0.02
+    repro build --seed 11 --scale 0.05 --out world.jsonl
+    repro tables --seed 11 --scale 0.05 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import build_world, run_pipeline
+from .core.report_text import (
+    render_digest,
+    render_earnings,
+    render_table1,
+    render_table5,
+    render_table7,
+    render_table8,
+)
+from .forum.store import save_dataset
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Measuring eWhoring' (IMC 2019) on a synthetic substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
+        p.add_argument(
+            "--scale", type=float, default=0.02,
+            help="fraction of the paper's population sizes (default 0.02)",
+        )
+
+    p_build = sub.add_parser("build", help="generate a world and save the dataset")
+    add_world_args(p_build)
+    p_build.add_argument("--out", type=Path, required=True, help="output JSONL path")
+
+    p_run = sub.add_parser("run", help="run the full measurement and print the digest")
+    add_world_args(p_run)
+    p_run.add_argument("--annotate", type=int, default=1000,
+                       help="annotation sample size (default 1000)")
+    p_run.add_argument("--out", type=Path, default=None,
+                       help="also write table files into this directory")
+
+    p_tables = sub.add_parser("tables", help="run the measurement and write table files")
+    add_world_args(p_tables)
+    p_tables.add_argument("--annotate", type=int, default=1000)
+    p_tables.add_argument("--out", type=Path, required=True, help="output directory")
+
+    return parser
+
+
+def _write_tables(report, out_dir: Path) -> list:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tables = {
+        "table1_forums": render_table1(report),
+        "table5_reverse": render_table5(report),
+        "table7_currency": render_table7(report.currency_exchange),
+        "table8_actors": render_table8(report),
+        "earnings": render_earnings(report.earnings),
+        "digest": render_digest(report),
+    }
+    written = []
+    for name, text in tables.items():
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    print(f"building world (seed={args.seed}, scale={args.scale}) ...", file=sys.stderr)
+    start = time.time()
+    world = build_world(seed=args.seed, scale=args.scale)
+    print(f"  {world.dataset} [{time.time() - start:.1f}s]", file=sys.stderr)
+
+    if args.command == "build":
+        n_records = save_dataset(world.dataset, args.out)
+        print(f"wrote {n_records} records to {args.out}")
+        return 0
+
+    print("running pipeline ...", file=sys.stderr)
+    start = time.time()
+    report = run_pipeline(world, annotate_n=args.annotate)
+    print(f"  done [{time.time() - start:.1f}s]", file=sys.stderr)
+
+    if args.command == "run":
+        print(render_digest(report))
+        if args.out is not None:
+            for path in _write_tables(report, args.out):
+                print(f"wrote {path}", file=sys.stderr)
+        return 0
+
+    # tables
+    for path in _write_tables(report, args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Thread feature extraction for the TOP classifier (§4.1).
+
+For each thread the extractor computes the statistical features the
+paper lists — reply count, link counts to cloud-storage / image-sharing
+sites and to other forum threads, first-post length, question marks and
+special-keyword counts in the heading — and concatenates them with
+TF-IDF features over the thread's text (heading and posts).
+
+Statistical columns are z-scored with moments fitted on the training
+corpus so they live on the same scale as the L2-normalised TF-IDF block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from ..text.normalize import normalize_forum_text
+from ..text.tokenize import count_question_marks
+from ..text.vectorize import TfidfVectorizer
+from ..web.sites import ServiceKind, service_by_domain
+from ..web.url import extract_urls
+from .keywords import PACK_KEYWORDS, REQUEST_KEYWORDS, TUTORIAL_KEYWORDS
+
+__all__ = ["ThreadFeatureExtractor", "ThreadStats", "thread_document", "thread_stats"]
+
+#: How many replies contribute text to the thread document.
+_MAX_REPLIES_IN_DOCUMENT = 5
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadStats:
+    """The non-textual feature vector of one thread."""
+
+    n_replies: int
+    n_cloud_links: int
+    n_imageshare_links: int
+    n_internal_links: int
+    first_post_length: int
+    heading_question_marks: int
+    heading_request_keywords: int
+    heading_tutorial_keywords: int
+    heading_pack_keywords: int
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [
+                self.n_replies,
+                self.n_cloud_links,
+                self.n_imageshare_links,
+                self.n_internal_links,
+                self.first_post_length,
+                self.heading_question_marks,
+                self.heading_request_keywords,
+                self.heading_tutorial_keywords,
+                self.heading_pack_keywords,
+            ],
+            dtype=np.float64,
+        )
+
+
+N_STAT_FEATURES = 9
+
+
+def thread_stats(
+    dataset: ForumDataset, thread: Thread, normalize: bool = False
+) -> ThreadStats:
+    """Compute the statistical features of one thread.
+
+    With ``normalize`` the heading passes through the §4.1 forum-text
+    normaliser before keyword counting (the A4 extension).
+    """
+    opener = dataset.initial_post(thread.thread_id)
+    opener_text = opener.content if opener is not None else ""
+    n_cloud = 0
+    n_imageshare = 0
+    n_internal = 0
+    for url in extract_urls(opener_text):
+        service = service_by_domain(url.host)
+        if service is None:
+            n_internal += 1  # links to other threads / unknown targets
+        elif service.kind is ServiceKind.CLOUD_STORAGE:
+            n_cloud += 1
+        else:
+            n_imageshare += 1
+    heading = normalize_forum_text(thread.heading) if normalize else thread.heading
+    return ThreadStats(
+        n_replies=dataset.reply_count(thread.thread_id),
+        n_cloud_links=n_cloud,
+        n_imageshare_links=n_imageshare,
+        n_internal_links=n_internal,
+        first_post_length=len(opener_text),
+        heading_question_marks=count_question_marks(heading),
+        heading_request_keywords=REQUEST_KEYWORDS.count_matches(heading),
+        heading_tutorial_keywords=TUTORIAL_KEYWORDS.count_matches(heading),
+        heading_pack_keywords=PACK_KEYWORDS.count_matches(heading),
+    )
+
+
+def thread_document(
+    dataset: ForumDataset, thread: Thread, normalize: bool = False
+) -> str:
+    """The text document of a thread: heading (doubled) plus early posts.
+
+    The heading is repeated so its terms dominate the TF-IDF signal, as
+    headings carry the thread's intent (§3).  With ``normalize`` every
+    part passes through the forum-text normaliser first.
+    """
+    parts: List[str] = [thread.heading, thread.heading]
+    posts = dataset.posts_in_thread(thread.thread_id)
+    for post in posts[: _MAX_REPLIES_IN_DOCUMENT + 1]:
+        parts.append(post.content)
+    document = "\n".join(parts)
+    return normalize_forum_text(document) if normalize else document
+
+
+class ThreadFeatureExtractor:
+    """Fits on a training thread set and vectorises arbitrary threads."""
+
+    def __init__(
+        self,
+        min_df: int = 2,
+        max_terms: Optional[int] = 1500,
+        normalize: bool = False,
+    ):
+        self._vectorizer = TfidfVectorizer(min_df=min_df, max_terms=max_terms)
+        self._stat_mean: Optional[np.ndarray] = None
+        self._stat_std: Optional[np.ndarray] = None
+        self.normalize = normalize
+
+    @property
+    def fitted(self) -> bool:
+        return self._stat_mean is not None
+
+    def fit(self, dataset: ForumDataset, threads: Sequence[Thread]) -> "ThreadFeatureExtractor":
+        """Learn vocabulary, IDF weights and stat moments."""
+        if not threads:
+            raise ValueError("cannot fit on an empty thread set")
+        documents = [thread_document(dataset, t, self.normalize) for t in threads]
+        self._vectorizer.fit(documents)
+        stats = np.vstack(
+            [thread_stats(dataset, t, self.normalize).as_array() for t in threads]
+        )
+        self._stat_mean = stats.mean(axis=0)
+        std = stats.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._stat_std = std
+        return self
+
+    def transform(self, dataset: ForumDataset, threads: Sequence[Thread]) -> np.ndarray:
+        """Vectorise threads into [z-scored stats || TF-IDF] rows."""
+        if not self.fitted:
+            raise RuntimeError("extractor must be fitted before transform")
+        if not threads:
+            vocab = self._vectorizer.vocabulary
+            width = N_STAT_FEATURES + (len(vocab) if vocab else 0)
+            return np.zeros((0, width))
+        documents = [thread_document(dataset, t, self.normalize) for t in threads]
+        tfidf = self._vectorizer.transform(documents)
+        stats = np.vstack(
+            [thread_stats(dataset, t, self.normalize).as_array() for t in threads]
+        )
+        stats = (stats - self._stat_mean) / self._stat_std
+        return np.hstack([stats, tfidf])
+
+    def fit_transform(self, dataset: ForumDataset, threads: Sequence[Thread]) -> np.ndarray:
+        return self.fit(dataset, threads).transform(dataset, threads)

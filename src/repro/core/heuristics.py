@@ -1,0 +1,57 @@
+"""Heuristic TOP classifier (§4.1).
+
+The rule set encodes the analysts' domain expertise: a heading that
+names the offered artefact (pack / pics / collection / unsaturated …)
+and does not look like a request (no question marks, no buy/help
+vocabulary) or a tutorial is a Thread Offering Packs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from ..text.normalize import normalize_forum_text
+from ..text.tokenize import count_question_marks
+from .keywords import REQUEST_KEYWORDS, STRONG_PACK_KEYWORDS, TUTORIAL_KEYWORDS
+
+__all__ = ["HeuristicTopClassifier"]
+
+
+@dataclass(frozen=True)
+class HeuristicTopClassifier:
+    """Keyword rules over thread headings.
+
+    ``max_question_marks`` and the exclusion lexicons discard threads
+    *asking for* packs (§4.1: "we also account for both the number of
+    question marks and the presence of keywords related to buying").
+    """
+
+    max_question_marks: int = 0
+    exclude_requests: bool = True
+    exclude_tutorials: bool = True
+    #: Run the §4.1 forum-text normaliser over headings first (the A4
+    #: extension; recovers leeted keywords like 'p4ck').
+    normalize: bool = False
+
+    def is_top(self, thread: Thread) -> bool:
+        """Classify one thread from its heading alone."""
+        heading = (
+            normalize_forum_text(thread.heading) if self.normalize else thread.heading
+        )
+        if not STRONG_PACK_KEYWORDS.matches(heading):
+            return False
+        if count_question_marks(heading) > self.max_question_marks:
+            return False
+        if self.exclude_requests and REQUEST_KEYWORDS.matches(heading):
+            return False
+        if self.exclude_tutorials and TUTORIAL_KEYWORDS.matches(heading):
+            return False
+        return True
+
+    def predict(self, dataset: ForumDataset, threads: Sequence[Thread]) -> List[bool]:
+        """Vector form; the dataset argument keeps the classifier API
+        uniform with the ML arm (heuristics only need headings)."""
+        return [self.is_top(thread) for thread in threads]

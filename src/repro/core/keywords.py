@@ -1,0 +1,56 @@
+"""Methodology keywords (Table 2) re-exported for the pipeline.
+
+The pipeline stages reference the lexicons through this module so that
+the core package reads as the paper does: one place lists every keyword
+the methodology depends on.
+"""
+
+from __future__ import annotations
+
+from ..text.lexicon import (
+    EARNINGS_KEYWORDS,
+    EWHORING_KEYWORDS,
+    PACK_KEYWORDS,
+    REQUEST_KEYWORDS,
+    TABLE2_LEXICONS,
+    TUTORIAL_KEYWORDS,
+    Lexicon,
+)
+
+__all__ = [
+    "EARNINGS_HEADING_TERMS",
+    "EARNINGS_KEYWORDS",
+    "EWHORING_KEYWORDS",
+    "Lexicon",
+    "PACK_KEYWORDS",
+    "REQUEST_KEYWORDS",
+    "STRONG_PACK_KEYWORDS",
+    "TABLE2_LEXICONS",
+    "TRADE_KEYWORDS",
+    "TUTORIAL_KEYWORDS",
+]
+
+#: The subset of pack keywords that name the *artefact* being offered
+#: (§4.1: "most TOPs include specialised keywords such as 'unsaturated'
+#: or 'pack'").  The heuristic classifier keys on these; the broader
+#: PACK_KEYWORDS list feeds the ML feature extractor.
+STRONG_PACK_KEYWORDS = Lexicon(
+    "strong_packs",
+    (
+        "pack", "packs", "package", "packages", "pics", "pictures",
+        "vids", "videos", "video", "collection", "collections", "set",
+        "sets", "compilation", "unsaturated", "repository", "repositories",
+    ),
+)
+
+#: Trading-related terms combined with 'proof' to find proof-of-earnings
+#: posts outside the dedicated earnings threads (§5.1).
+TRADE_KEYWORDS = Lexicon(
+    "trade",
+    ("selling", "sell", "wts", "buy", "buying", "offering", "sales",
+     "vouch", "ebook", "mentoring", "method", "service"),
+)
+
+#: Heading substrings selecting earnings threads (§5.1: "we searched for
+#: eWhoring related threads containing the words 'you make' or 'earn'").
+EARNINGS_HEADING_TERMS = ("you make", "earn")

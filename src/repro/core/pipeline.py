@@ -1,0 +1,289 @@
+"""The end-to-end measurement pipeline of Figure 1.
+
+:class:`EwhoringPipeline` chains the five stages over a synthetic world:
+
+1. **Extract TOPs** — select eWhoring threads (§3), annotate a sample,
+   train the hybrid classifier, extract Threads Offering Packs (§4.1);
+2. **Extract URLs & download** — whitelist + snowball, crawl previews
+   and packs (§4.2);
+3. **Filter child abuse** — hashlist sweep, report, delete (§4.3);
+4. **Classify images** — Algorithm 1 splits SFV/NSFV (§4.4);
+5. **Reverse search & analyse** — provenance, seen-before, domain
+   categories (§4.5);
+
+plus the §5 earnings pipeline and the §6 actor analysis, so a single
+:meth:`run` produces every quantity the paper's tables and figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..domains.classifiers import DomainClassifier, default_classifiers
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from ..forum.query import ForumSummary, ewhoring_threads, forum_summaries
+from ..ml.split import train_test_split
+from ..synth.earnings_gen import ProofPlan
+from ..vision.photodna import HashListService
+from ..vision.reverse_search import ReverseImageIndex
+from ..web.archive import WaybackArchive
+from ..web.crawler import CrawlResult, CrawledImage, Crawler
+from ..web.internet import SimulatedInternet
+from .abuse_filter import AbuseFilter, AbuseFilterResult
+from .actors import (
+    ActorAnalyzer,
+    CohortRow,
+    InterestEvolution,
+    KeyActorSelection,
+    cohort_table,
+    interest_evolution,
+    select_key_actors,
+)
+from .earnings import (
+    CurrencyExchangeTable,
+    EarningsAnalyzer,
+    EarningsResult,
+    currency_exchange_table,
+)
+from .nsfv import NsfvClassifier, NsfvVerdict
+from .provenance import ProvenanceAnalyzer, ProvenanceResult
+from .top_classifier import ExtractionStats, HybridTopClassifier, TopEvaluation
+from .url_extraction import LinkExtraction, extract_links
+
+__all__ = ["EwhoringPipeline", "PipelineReport"]
+
+#: Oracles standing in for human work: thread id → is-TOP annotation,
+#: image id → proof ground truth (or None).
+TopOracleFn = Callable[[int], bool]
+ProofOracleFn = Callable[[int], Optional[ProofPlan]]
+
+
+@dataclass
+class PipelineReport:
+    """Everything one pipeline run measured."""
+
+    # Stage 0: dataset selection (§3, Table 1).
+    selection: List[Thread]
+    forum_summaries: List[ForumSummary]
+
+    # Stage 1: TOP extraction (§4.1).
+    top_evaluation: TopEvaluation
+    extraction_stats: ExtractionStats
+    tops: List[Thread]
+    tops_per_forum: Dict[str, int]
+    n_annotated: int
+    n_annotated_tops: int
+
+    # Stage 2: URLs and crawling (§4.2).
+    links: LinkExtraction
+    crawl: CrawlResult
+
+    # Stage 3: abuse filtering (§4.3).
+    abuse: AbuseFilterResult
+
+    # Stage 4: NSFV classification (§4.4).
+    preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]]
+    n_nsfv_previews: int
+
+    # Stage 5: provenance (§4.5).
+    provenance: ProvenanceResult
+
+    # §5: profits.
+    earnings: EarningsResult
+    currency_exchange: CurrencyExchangeTable
+
+    # §6: actors.
+    actor_analyzer: ActorAnalyzer
+    cohorts: List[CohortRow]
+    key_actors: KeyActorSelection
+    interests: InterestEvolution
+
+    @property
+    def nsfv_previews(self) -> List[CrawledImage]:
+        """Previews classified Not-Safe-For-Viewing (model images)."""
+        return [c for c, v in self.preview_verdicts if v.nsfv]
+
+
+class EwhoringPipeline:
+    """Wires the five stages plus §5/§6 over one world's components."""
+
+    def __init__(
+        self,
+        dataset: ForumDataset,
+        internet: SimulatedInternet,
+        reverse_index: ReverseImageIndex,
+        hashlist: HashListService,
+        archive: Optional[WaybackArchive] = None,
+        category_lookup: Optional[Callable[[str], Optional[str]]] = None,
+        classifiers: Optional[Sequence[DomainClassifier]] = None,
+        nsfv: Optional[NsfvClassifier] = None,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.internet = internet
+        self.reverse_index = reverse_index
+        self.hashlist = hashlist
+        self.archive = archive
+        self.category_lookup = category_lookup if category_lookup is not None else (lambda d: None)
+        self.classifiers = (
+            list(classifiers) if classifiers is not None else list(default_classifiers(seed))
+        )
+        self.nsfv = nsfv if nsfv is not None else NsfvClassifier()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        top_oracle: TopOracleFn,
+        proof_oracle: ProofOracleFn,
+        annotate_n: int = 1000,
+        train_fraction: float = 0.8,
+        min_ce_posts: int = 50,
+        key_actor_top_n: int = 50,
+    ) -> PipelineReport:
+        """Execute the full measurement and return the report."""
+        selection = ewhoring_threads(self.dataset)
+        summaries = forum_summaries(self.dataset, selection)
+
+        # ---- stage 1: TOP extraction --------------------------------
+        classifier, evaluation, n_annotated, n_annotated_tops = self._train_classifier(
+            selection, top_oracle, annotate_n, train_fraction
+        )
+        tops, stats = classifier.extract_tops(self.dataset, selection)
+        tops_per_forum: Dict[str, int] = {}
+        for thread in tops:
+            name = self.dataset.forum(thread.forum_id).name
+            tops_per_forum[name] = tops_per_forum.get(name, 0) + 1
+
+        # ---- stage 2: URLs + crawl ----------------------------------
+        links = extract_links(self.dataset, tops)
+        crawl = Crawler(self.internet).crawl(links.all_links)
+
+        # ---- stage 3: abuse filter ----------------------------------
+        abuse_filter = AbuseFilter(
+            self.hashlist,
+            reverse_index=self.reverse_index,
+            domain_info=self._domain_info,
+        )
+        abuse = abuse_filter.sweep(crawl.all_images, dataset=self.dataset)
+        clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
+        clean_pack_images = [c for c in crawl.pack_images if abuse.is_clean(c)]
+
+        # ---- stage 4: NSFV classification ---------------------------
+        preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]] = []
+        seen_digests: Dict[str, NsfvVerdict] = {}
+        for crawled in clean_previews:
+            verdict = seen_digests.get(crawled.digest)
+            if verdict is None:
+                verdict = self.nsfv.classify(crawled.image.pixels)
+                seen_digests[crawled.digest] = verdict
+            preview_verdicts.append((crawled, verdict))
+        nsfv_previews = [c for c, v in preview_verdicts if v.nsfv]
+
+        # ---- stage 5: provenance ------------------------------------
+        provenance = ProvenanceAnalyzer(
+            self.reverse_index,
+            archive=self.archive,
+            classifiers=self.classifiers,
+            category_lookup=self.category_lookup,
+        ).analyze(clean_pack_images, nsfv_previews)
+        self._release_pixels(crawl.all_images)
+
+        # ---- §5: earnings -------------------------------------------
+        earnings = EarningsAnalyzer(
+            self.dataset,
+            self.internet,
+            self.hashlist,
+            annotator=proof_oracle,
+            nsfv=self.nsfv,
+        ).analyze(selection)
+        ce_table = currency_exchange_table(
+            self.dataset, min_ewhoring_posts=min_ce_posts, selection=selection
+        )
+
+        # ---- §6: actors ---------------------------------------------
+        analyzer = ActorAnalyzer(self.dataset, selection)
+        packs_per_actor: Dict[int, int] = {}
+        for thread in tops:
+            packs_per_actor[thread.author_id] = packs_per_actor.get(thread.author_id, 0) + 1
+        analyzer.attach_packs(packs_per_actor)
+        analyzer.attach_earnings(earnings.per_actor_totals())
+        analyzer.attach_currency_exchange()
+        metrics = analyzer.metrics()
+        cohorts = cohort_table(metrics)
+        key_actors = select_key_actors(metrics, top_n=key_actor_top_n)
+        interests = interest_evolution(
+            self.dataset, metrics, key_actors.groups.all_key_actors()
+        )
+
+        return PipelineReport(
+            selection=selection,
+            forum_summaries=summaries,
+            top_evaluation=evaluation,
+            extraction_stats=stats,
+            tops=tops,
+            tops_per_forum=tops_per_forum,
+            n_annotated=n_annotated,
+            n_annotated_tops=n_annotated_tops,
+            links=links,
+            crawl=crawl,
+            abuse=abuse,
+            preview_verdicts=preview_verdicts,
+            n_nsfv_previews=len(nsfv_previews),
+            provenance=provenance,
+            earnings=earnings,
+            currency_exchange=ce_table,
+            actor_analyzer=analyzer,
+            cohorts=cohorts,
+            key_actors=key_actors,
+            interests=interests,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_classifier(
+        self,
+        selection: Sequence[Thread],
+        top_oracle: TopOracleFn,
+        annotate_n: int,
+        train_fraction: float,
+    ) -> Tuple[HybridTopClassifier, TopEvaluation, int, int]:
+        """Annotate a sample (§4.1: 1 000 threads), train, evaluate."""
+        rng = np.random.default_rng(self.seed)
+        n_sample = min(annotate_n, len(selection))
+        if n_sample < 10:
+            raise ValueError("selection too small to annotate and train on")
+        indices = rng.choice(len(selection), size=n_sample, replace=False)
+        annotated = [selection[int(i)] for i in indices]
+        labels = [bool(top_oracle(t.thread_id)) for t in annotated]
+        if not any(labels) or all(labels):
+            raise ValueError(
+                "annotation sample is single-class; enlarge the sample or world"
+            )
+        split = train_test_split(
+            n_sample,
+            train_fraction=train_fraction,
+            seed=self.seed,
+            stratify_labels=[int(l) for l in labels],
+        )
+        train_threads = [annotated[i] for i in split.train_indices]
+        train_labels = [labels[i] for i in split.train_indices]
+        test_threads = [annotated[i] for i in split.test_indices]
+        test_labels = [labels[i] for i in split.test_indices]
+
+        classifier = HybridTopClassifier()
+        classifier.fit(self.dataset, train_threads, train_labels)
+        evaluation = classifier.evaluate(self.dataset, test_threads, test_labels)
+        return classifier, evaluation, n_sample, sum(labels)
+
+    def _domain_info(self, domain: str) -> Tuple[Optional[str], Optional[str]]:
+        return self.internet.region_of(domain), self.internet.site_type_of(domain)
+
+    @staticmethod
+    def _release_pixels(images: Sequence[CrawledImage]) -> None:
+        """Drop cached rasters once every stage has consumed them."""
+        for crawled in images:
+            crawled.image.drop_pixels()

@@ -1,0 +1,27 @@
+"""Domain-classification substrate: taxonomies and service analogues."""
+
+from .classifiers import (
+    DomainClassifier,
+    DomainVerdict,
+    default_classifiers,
+    tag_distribution,
+)
+from .taxonomy import (
+    MASTER_CATEGORIES,
+    MCAFEE_MAPPING,
+    NO_RESULT,
+    OPENDNS_MAPPING,
+    VIRUSTOTAL_MAPPING,
+)
+
+__all__ = [
+    "DomainClassifier",
+    "DomainVerdict",
+    "MASTER_CATEGORIES",
+    "MCAFEE_MAPPING",
+    "NO_RESULT",
+    "OPENDNS_MAPPING",
+    "VIRUSTOTAL_MAPPING",
+    "default_classifiers",
+    "tag_distribution",
+]

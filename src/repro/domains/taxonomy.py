@@ -1,0 +1,145 @@
+"""Category taxonomies for the three domain-classification services.
+
+§4.5 categorises provenance domains with Cisco OpenDNS, McAfee's URL
+ticketing system and VirusTotal.  The services disagree in vocabulary and
+granularity (Table 6 shows three different long-tail distributions), so
+each analogue gets its own tag vocabulary plus a mapping from the *master*
+taxonomy — the ground-truth category of each origin site in the simulated
+world — to the tags that service would emit.
+
+Mappings are weighted: a porn site maps to ``adult content``/``porn``/
+``sex`` under the VirusTotal analogue (multi-tag), to ``Pornography`` and
+sometimes ``Nudity`` under OpenDNS, and to ``Pornography`` (occasionally
+``Provocative Attire``) under McAfee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "MASTER_CATEGORIES",
+    "MCAFEE_MAPPING",
+    "NO_RESULT",
+    "OPENDNS_MAPPING",
+    "VIRUSTOTAL_MAPPING",
+]
+
+#: Tag emitted when a service has no verdict for a domain.
+NO_RESULT = "no_result"
+
+#: Ground-truth categories an origin site can have in the synthetic world.
+#: Weights (used by the world generator) reflect §4.5: "top categories are
+#: mostly porn-related sites", followed by social/shopping/photo/blog/forum
+#: sources.
+MASTER_CATEGORIES: Tuple[Tuple[str, float], ...] = (
+    ("Pornography", 0.40),
+    ("Blogs", 0.10),
+    ("Entertainment", 0.07),
+    ("Forums", 0.05),
+    ("Online Shopping", 0.05),
+    ("News", 0.05),
+    ("Provocative Attire", 0.04),
+    ("Marketing", 0.03),
+    ("Games", 0.03),
+    ("Internet Services", 0.03),
+    ("Photo Sharing", 0.03),
+    ("Dating", 0.025),
+    ("Portal", 0.02),
+    ("Parked", 0.02),
+    ("Malicious", 0.02),
+    ("Social Networking", 0.02),
+    ("Business", 0.02),
+    ("Humor", 0.015),
+    ("Streaming", 0.013),
+    ("Education", 0.012),
+    ("Sports", 0.01),
+)
+
+# Mapping shape: master category -> list of (tag tuple, weight).  One tag
+# tuple is drawn per domain; all tags in the tuple are emitted (services
+# "can provide more than one tag per domain", Table 6 caption).
+_Mapping = Dict[str, List[Tuple[Tuple[str, ...], float]]]
+
+MCAFEE_MAPPING: _Mapping = {
+    "Pornography": [(("Pornography",), 0.82), (("Nudity",), 0.08), (("Provocative Attire",), 0.10)],
+    "Blogs": [(("Blogs/Wiki",), 0.92), (("Entertainment",), 0.08)],
+    "Entertainment": [(("Entertainment",), 0.85), (("Streaming Media",), 0.15)],
+    "Forums": [(("Forum/Bulletin Boards",), 1.0)],
+    "Online Shopping": [(("Online Shopping",), 0.85), (("Marketing/Merchandising",), 0.15)],
+    "News": [(("General News",), 1.0)],
+    "Provocative Attire": [(("Provocative Attire",), 0.75), (("Pornography",), 0.25)],
+    "Marketing": [(("Marketing/Merchandising",), 1.0)],
+    "Games": [(("Games",), 1.0)],
+    "Internet Services": [(("Internet Services",), 1.0)],
+    "Photo Sharing": [(("Media Sharing",), 1.0)],
+    "Dating": [(("Dating/Personals",), 1.0)],
+    "Portal": [(("Portal Sites",), 1.0)],
+    "Parked": [(("Parked Domain",), 1.0)],
+    "Malicious": [(("Malicious Sites",), 0.55), (("PUPs",), 0.30), (("Illegal Software",), 0.15)],
+    "Social Networking": [(("Social Networking",), 1.0)],
+    "Business": [(("Business",), 1.0)],
+    "Humor": [(("Humor/Comics",), 1.0)],
+    "Streaming": [(("Streaming Media",), 1.0)],
+    "Education": [(("Education/Reference",), 1.0)],
+    "Sports": [(("Sports",), 1.0)],
+}
+
+VIRUSTOTAL_MAPPING: _Mapping = {
+    "Pornography": [
+        (("adult content", "porn", "sex"), 0.55),
+        (("adult content", "sex"), 0.20),
+        (("adult content",), 0.15),
+        (("porn",), 0.10),
+    ],
+    "Blogs": [(("blogs",), 0.8), (("blogs", "entertainment"), 0.2)],
+    "Entertainment": [(("entertainment",), 1.0)],
+    "Forums": [(("message boards and forums",), 1.0)],
+    "Online Shopping": [(("shopping", "onlineshop"), 0.5), (("shopping",), 0.5)],
+    "News": [(("news", "news and media"), 0.6), (("news",), 0.4)],
+    "Provocative Attire": [(("adult content",), 0.7), (("entertainment",), 0.3)],
+    "Marketing": [(("marketing",), 1.0)],
+    "Games": [(("games",), 1.0)],
+    "Internet Services": [(("information technology", "computers and software"), 0.6),
+                          (("information technology",), 0.4)],
+    "Photo Sharing": [(("information technology",), 0.5), (("entertainment",), 0.5)],
+    "Dating": [(("onlinedating",), 1.0)],
+    "Portal": [(("business",), 0.5), (("information technology",), 0.5)],
+    "Parked": [(("parked",), 1.0)],
+    "Malicious": [(("uncategorised",), 0.6), (("business",), 0.4)],
+    "Social Networking": [(("social networking",), 1.0)],
+    "Business": [(("business", "business and economy"), 0.5), (("business",), 0.5)],
+    "Humor": [(("entertainment",), 1.0)],
+    "Streaming": [(("entertainment",), 1.0)],
+    "Education": [(("education",), 1.0)],
+    "Sports": [(("sports",), 1.0)],
+}
+
+OPENDNS_MAPPING: _Mapping = {
+    "Pornography": [
+        (("Pornography", "Nudity"), 0.60),
+        (("Pornography", "Nudity", "Adult Themes"), 0.15),
+        (("Pornography",), 0.15),
+        (("Nudity",), 0.10),
+    ],
+    "Blogs": [(("Blogs",), 1.0)],
+    "Entertainment": [(("News/Media",), 0.4), (("Blogs",), 0.3), (("Humor",), 0.3)],
+    "Forums": [(("Forums/Message boards",), 1.0)],
+    "Online Shopping": [(("Ecommerce/Shopping",), 1.0)],
+    "News": [(("News/Media",), 1.0)],
+    "Provocative Attire": [(("Lingerie/Bikini",), 0.7), (("Adult Themes",), 0.3)],
+    "Marketing": [(("Business Services",), 1.0)],
+    "Games": [(("Games",), 1.0)],
+    "Internet Services": [(("Software/Technology",), 1.0)],
+    "Photo Sharing": [(("Photo Sharing",), 1.0)],
+    "Dating": [(("Dating",), 0.6), (("Sexuality",), 0.4)],
+    "Portal": [(("Portals",), 1.0)],
+    "Parked": [(("Parked Domains",), 1.0)],
+    "Malicious": [(("Malware",), 1.0)],
+    "Social Networking": [(("Social Networking",), 1.0)],
+    "Business": [(("Business Services",), 1.0)],
+    "Humor": [(("Humor",), 1.0)],
+    "Streaming": [(("Video Sharing",), 1.0)],
+    "Education": [(("Educational Institutions",), 1.0)],
+    "Sports": [(("Sports",), 1.0)],
+}

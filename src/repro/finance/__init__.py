@@ -1,0 +1,24 @@
+"""Money substrate: currencies, historical rates, exchange-heading parsing."""
+
+from .money import Currency, Money, PaymentPlatform
+from .parser import (
+    CANONICAL_CURRENCIES,
+    UNCLASSIFIED,
+    ExchangeOffer,
+    canonical_currency,
+    parse_exchange_heading,
+)
+from .rates import HistoricalRates, RateError
+
+__all__ = [
+    "CANONICAL_CURRENCIES",
+    "Currency",
+    "ExchangeOffer",
+    "HistoricalRates",
+    "Money",
+    "PaymentPlatform",
+    "RateError",
+    "UNCLASSIFIED",
+    "canonical_currency",
+    "parse_exchange_heading",
+]

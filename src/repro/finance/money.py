@@ -1,0 +1,78 @@
+"""Money values and the payment instruments of the eWhoring economy.
+
+§5 annotates proof-of-earnings with a payment *platform* (PayPal, Amazon
+Gift Cards, Bitcoin …) and a *currency* (USD, GBP, EUR …), converting
+everything to USD with historical rates.  Platforms and currencies are
+separate enumerations because the same platform moves several currencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Currency", "Money", "PaymentPlatform"]
+
+
+class Currency(enum.Enum):
+    """Fiat and crypto denominations seen in proof-of-earnings."""
+
+    USD = "USD"
+    EUR = "EUR"
+    GBP = "GBP"
+    CAD = "CAD"
+    AUD = "AUD"
+    BTC = "BTC"
+
+    @property
+    def is_crypto(self) -> bool:
+        return self is Currency.BTC
+
+
+class PaymentPlatform(enum.Enum):
+    """Where the money landed (the §5.2 platform histogram)."""
+
+    PAYPAL = "PayPal"
+    AMAZON_GIFT_CARD = "Amazon Gift Card"
+    BITCOIN = "Bitcoin"
+    SKRILL = "Skrill"
+    WESTERN_UNION = "Western Union"
+    CASH = "Cash"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True, slots=True)
+class Money:
+    """An amount in a currency.  Arithmetic only within one currency."""
+
+    amount: float
+    currency: Currency
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.currency, Currency):
+            raise TypeError("currency must be a Currency")
+
+    def __add__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount + other.amount, self.currency)
+
+    def __sub__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount - other.amount, self.currency)
+
+    def scaled(self, factor: float) -> "Money":
+        return Money(self.amount * factor, self.currency)
+
+    def _check(self, other: "Money") -> None:
+        if not isinstance(other, Money):
+            raise TypeError("can only combine Money with Money")
+        if other.currency is not self.currency:
+            raise ValueError(
+                f"currency mismatch: {self.currency.value} vs {other.currency.value}; "
+                "convert with HistoricalRates first"
+            )
+
+    def __str__(self) -> str:
+        if self.currency.is_crypto:
+            return f"{self.amount:.6f} {self.currency.value}"
+        return f"{self.currency.value} {self.amount:,.2f}"

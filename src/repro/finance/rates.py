@@ -1,0 +1,105 @@
+"""Historical exchange rates (synthetic, deterministic).
+
+§5.1: "we use a historical exchange rate list to get the corresponding
+rate when the transaction was performed".  Real rate feeds are not
+available offline, so this module synthesises smooth, plausible daily
+curves: fiat currencies oscillate gently around their long-run USD rate;
+BTC follows an exponential growth path with boom/bust cycles.  Curves are
+pure functions of (currency, date) — no state, no look-ahead.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import date, datetime
+from typing import Dict, Union
+
+from .money import Currency, Money
+
+__all__ = ["HistoricalRates", "RateError"]
+
+_EPOCH = date(2008, 1, 1)
+
+#: Long-run USD value of one unit of each fiat currency.
+_FIAT_BASE: Dict[Currency, float] = {
+    Currency.USD: 1.00,
+    Currency.EUR: 1.22,
+    Currency.GBP: 1.45,
+    Currency.CAD: 0.82,
+    Currency.AUD: 0.78,
+}
+
+#: Fiat oscillation amplitude (fraction of base) and period (days).
+_FIAT_WOBBLE: Dict[Currency, tuple] = {
+    Currency.USD: (0.0, 365.0),
+    Currency.EUR: (0.10, 1300.0),
+    Currency.GBP: (0.12, 1700.0),
+    Currency.CAD: (0.09, 1100.0),
+    Currency.AUD: (0.11, 900.0),
+}
+
+
+class RateError(ValueError):
+    """Raised for unsupported currencies or out-of-range dates."""
+
+
+class HistoricalRates:
+    """Daily USD rates for every supported currency, 2008–2020."""
+
+    first_day: date = date(2008, 1, 1)
+    last_day: date = date(2020, 12, 31)
+
+    def rate_to_usd(self, currency: Currency, when: Union[date, datetime]) -> float:
+        """USD value of one unit of ``currency`` on ``when``."""
+        day = when.date() if isinstance(when, datetime) else when
+        if not self.first_day <= day <= self.last_day:
+            raise RateError(f"no rate data for {day.isoformat()}")
+        if currency is Currency.BTC:
+            return self._btc_rate(day)
+        base = _FIAT_BASE.get(currency)
+        if base is None:
+            raise RateError(f"unsupported currency {currency!r}")
+        amplitude, period = _FIAT_WOBBLE[currency]
+        days = (day - _EPOCH).days
+        # Two incommensurate sinusoids: smooth, non-repeating drift.
+        wobble = amplitude * (
+            0.7 * math.sin(2 * math.pi * days / period)
+            + 0.3 * math.sin(2 * math.pi * days / (period * 0.37))
+        )
+        return base * (1.0 + wobble)
+
+    def convert(
+        self,
+        money: Money,
+        when: Union[date, datetime],
+        target: Currency = Currency.USD,
+    ) -> Money:
+        """Convert ``money`` at the rate of ``when`` (via USD)."""
+        usd_amount = money.amount * self.rate_to_usd(money.currency, when)
+        if target is Currency.USD:
+            return Money(usd_amount, Currency.USD)
+        target_rate = self.rate_to_usd(target, when)
+        return Money(usd_amount / target_rate, target)
+
+    def to_usd(self, money: Money, when: Union[date, datetime]) -> float:
+        """Shorthand: USD amount of ``money`` on ``when``."""
+        return self.convert(money, when).amount
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _btc_rate(day: date) -> float:
+        """Synthetic BTC/USD path: exponential growth with bubble cycles.
+
+        Roughly: cents in 2010, ~$600 around 2014, a large 2017 peak,
+        four-digit values after — the qualitative path the currency-
+        exchange analysis cares about (BTC becomes the wanted currency as
+        its value grows).
+        """
+        days = (day - _EPOCH).days
+        years = days / 365.25
+        # log10 dollars: ~cents around 2010, hundreds by 2014, a 2017
+        # peak in the low tens of thousands, flattening after.
+        log_trend = min(-2.0 + 0.62 * years, 4.2)
+        bubble = 0.9 * math.sin(2 * math.pi * years / 4.0 + 1.2)
+        ripple = 0.15 * math.sin(2 * math.pi * years * 3.1)
+        return max(10.0 ** (log_trend + bubble + ripple), 0.003)

@@ -1,0 +1,38 @@
+"""Underground-forum substrate: data model, storage and queries.
+
+This package is the CrimeBB analogue — see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .dataset import DatasetError, ForumDataset
+from .models import Actor, Board, Forum, Post, Thread
+from .query import (
+    EWHORING_HEADING_KEYWORDS,
+    ForumSummary,
+    ewhoring_threads,
+    forum_summaries,
+    threads_with_heading_keywords,
+)
+from .stats import DatasetStats, Distribution, dataset_stats, gini
+from .store import load_dataset, save_dataset
+
+__all__ = [
+    "Actor",
+    "Board",
+    "DatasetError",
+    "EWHORING_HEADING_KEYWORDS",
+    "Forum",
+    "ForumDataset",
+    "ForumSummary",
+    "Post",
+    "Thread",
+    "DatasetStats",
+    "Distribution",
+    "dataset_stats",
+    "ewhoring_threads",
+    "forum_summaries",
+    "gini",
+    "load_dataset",
+    "save_dataset",
+    "threads_with_heading_keywords",
+]

@@ -1,0 +1,266 @@
+"""In-memory forum dataset container with indexed access.
+
+:class:`ForumDataset` is the substrate every pipeline stage reads from.  It
+holds the full record tables (forums, boards, actors, threads, posts) and
+maintains the secondary indices the measurement code needs: posts by
+thread, threads by board, per-actor activity, and post id lookup for quote
+resolution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import datetime
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .models import Actor, Board, Forum, Post, Thread
+
+__all__ = ["DatasetError", "ForumDataset"]
+
+
+class DatasetError(ValueError):
+    """Raised on integrity violations (duplicate ids, dangling references)."""
+
+
+class ForumDataset:
+    """A queryable snapshot of one or more underground forums.
+
+    Records must be added parents-first (forum before its boards, thread
+    before its posts); referential integrity is checked eagerly so that a
+    malformed generator fails at construction time, not during measurement.
+    """
+
+    def __init__(self) -> None:
+        self._forums: Dict[int, Forum] = {}
+        self._boards: Dict[int, Board] = {}
+        self._actors: Dict[int, Actor] = {}
+        self._threads: Dict[int, Thread] = {}
+        self._posts: Dict[int, Post] = {}
+        self._posts_by_thread: Dict[int, List[int]] = defaultdict(list)
+        self._threads_by_board: Dict[int, List[int]] = defaultdict(list)
+        self._threads_by_forum: Dict[int, List[int]] = defaultdict(list)
+        self._posts_by_actor: Dict[int, List[int]] = defaultdict(list)
+        self._boards_by_forum: Dict[int, List[int]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_forum(self, forum: Forum) -> None:
+        """Register a forum record."""
+        if forum.forum_id in self._forums:
+            raise DatasetError(f"duplicate forum id {forum.forum_id}")
+        self._forums[forum.forum_id] = forum
+
+    def add_board(self, board: Board) -> None:
+        """Register a board; its forum must already exist."""
+        if board.board_id in self._boards:
+            raise DatasetError(f"duplicate board id {board.board_id}")
+        if board.forum_id not in self._forums:
+            raise DatasetError(f"board {board.board_id} references unknown forum {board.forum_id}")
+        self._boards[board.board_id] = board
+        self._boards_by_forum[board.forum_id].append(board.board_id)
+
+    def add_actor(self, actor: Actor) -> None:
+        """Register an actor; their home forum must already exist."""
+        if actor.actor_id in self._actors:
+            raise DatasetError(f"duplicate actor id {actor.actor_id}")
+        if actor.forum_id not in self._forums:
+            raise DatasetError(f"actor {actor.actor_id} references unknown forum {actor.forum_id}")
+        self._actors[actor.actor_id] = actor
+
+    def add_thread(self, thread: Thread) -> None:
+        """Register a thread; board, forum and author must already exist."""
+        if thread.thread_id in self._threads:
+            raise DatasetError(f"duplicate thread id {thread.thread_id}")
+        board = self._boards.get(thread.board_id)
+        if board is None:
+            raise DatasetError(f"thread {thread.thread_id} references unknown board {thread.board_id}")
+        if board.forum_id != thread.forum_id:
+            raise DatasetError(
+                f"thread {thread.thread_id} claims forum {thread.forum_id} "
+                f"but its board belongs to forum {board.forum_id}"
+            )
+        if thread.author_id not in self._actors:
+            raise DatasetError(f"thread {thread.thread_id} references unknown actor {thread.author_id}")
+        self._threads[thread.thread_id] = thread
+        self._threads_by_board[thread.board_id].append(thread.thread_id)
+        self._threads_by_forum[thread.forum_id].append(thread.thread_id)
+
+    def add_post(self, post: Post) -> None:
+        """Register a post; its thread and author must already exist."""
+        if post.post_id in self._posts:
+            raise DatasetError(f"duplicate post id {post.post_id}")
+        if post.thread_id not in self._threads:
+            raise DatasetError(f"post {post.post_id} references unknown thread {post.thread_id}")
+        if post.author_id not in self._actors:
+            raise DatasetError(f"post {post.post_id} references unknown actor {post.author_id}")
+        expected_position = len(self._posts_by_thread[post.thread_id])
+        if post.position != expected_position:
+            raise DatasetError(
+                f"post {post.post_id} has position {post.position}, "
+                f"expected {expected_position} for thread {post.thread_id}"
+            )
+        self._posts[post.post_id] = post
+        self._posts_by_thread[post.thread_id].append(post.post_id)
+        self._posts_by_actor[post.author_id].append(post.post_id)
+
+    def extend(self, records: Iterable[object]) -> None:
+        """Add a heterogeneous iterable of records, dispatching by type."""
+        adders = {
+            Forum: self.add_forum,
+            Board: self.add_board,
+            Actor: self.add_actor,
+            Thread: self.add_thread,
+            Post: self.add_post,
+        }
+        for record in records:
+            adder = adders.get(type(record))
+            if adder is None:
+                raise DatasetError(f"unsupported record type {type(record).__name__}")
+            adder(record)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def forum(self, forum_id: int) -> Forum:
+        """Return the forum with ``forum_id`` (KeyError if absent)."""
+        return self._forums[forum_id]
+
+    def board(self, board_id: int) -> Board:
+        """Return the board with ``board_id`` (KeyError if absent)."""
+        return self._boards[board_id]
+
+    def actor(self, actor_id: int) -> Actor:
+        """Return the actor with ``actor_id`` (KeyError if absent)."""
+        return self._actors[actor_id]
+
+    def thread(self, thread_id: int) -> Thread:
+        """Return the thread with ``thread_id`` (KeyError if absent)."""
+        return self._threads[thread_id]
+
+    def post(self, post_id: int) -> Post:
+        """Return the post with ``post_id`` (KeyError if absent)."""
+        return self._posts[post_id]
+
+    def maybe_post(self, post_id: int) -> Optional[Post]:
+        """Return the post or ``None`` when the id is unknown."""
+        return self._posts.get(post_id)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def forums(self) -> Iterator[Forum]:
+        """Iterate over all forums in insertion order."""
+        return iter(self._forums.values())
+
+    def boards(self, forum_id: Optional[int] = None) -> Iterator[Board]:
+        """Iterate over boards, optionally restricted to one forum."""
+        if forum_id is None:
+            return iter(self._boards.values())
+        return (self._boards[b] for b in self._boards_by_forum.get(forum_id, []))
+
+    def actors(self) -> Iterator[Actor]:
+        """Iterate over all actors."""
+        return iter(self._actors.values())
+
+    def threads(self, forum_id: Optional[int] = None) -> Iterator[Thread]:
+        """Iterate over threads, optionally restricted to one forum."""
+        if forum_id is None:
+            return iter(self._threads.values())
+        return (self._threads[t] for t in self._threads_by_forum.get(forum_id, []))
+
+    def posts(self) -> Iterator[Post]:
+        """Iterate over all posts."""
+        return iter(self._posts.values())
+
+    def posts_in_thread(self, thread_id: int) -> List[Post]:
+        """Return the posts of a thread ordered by position."""
+        return [self._posts[p] for p in self._posts_by_thread.get(thread_id, [])]
+
+    def initial_post(self, thread_id: int) -> Optional[Post]:
+        """Return the opening post of a thread, or ``None`` if empty."""
+        ids = self._posts_by_thread.get(thread_id)
+        if not ids:
+            return None
+        return self._posts[ids[0]]
+
+    def replies(self, thread_id: int) -> List[Post]:
+        """Return the non-initial posts of a thread in order."""
+        return self.posts_in_thread(thread_id)[1:]
+
+    def threads_in_board(self, board_id: int) -> List[Thread]:
+        """Return the threads of a board in insertion order."""
+        return [self._threads[t] for t in self._threads_by_board.get(board_id, [])]
+
+    def posts_by_actor(self, actor_id: int) -> List[Post]:
+        """Return all posts an actor wrote, in insertion order."""
+        return [self._posts[p] for p in self._posts_by_actor.get(actor_id, [])]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_forums(self) -> int:
+        return len(self._forums)
+
+    @property
+    def n_boards(self) -> int:
+        return len(self._boards)
+
+    @property
+    def n_actors(self) -> int:
+        return len(self._actors)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    @property
+    def n_posts(self) -> int:
+        return len(self._posts)
+
+    def reply_count(self, thread_id: int) -> int:
+        """Number of replies (posts excluding the opener) in a thread."""
+        return max(0, len(self._posts_by_thread.get(thread_id, [])) - 1)
+
+    def span(self) -> Optional[tuple[datetime, datetime]]:
+        """Return (first post date, last post date) or ``None`` when empty."""
+        if not self._posts:
+            return None
+        dates = [p.created_at for p in self._posts.values()]
+        return min(dates), max(dates)
+
+    def thread_participants(self, thread_id: int) -> List[int]:
+        """Distinct actor ids that posted in a thread, in first-post order."""
+        seen: Dict[int, None] = {}
+        for post in self.posts_in_thread(thread_id):
+            seen.setdefault(post.author_id, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Re-check referential integrity over the whole dataset.
+
+        Construction already validates incrementally; this is a belt-and-
+        braces sweep for deserialised datasets.
+        """
+        for board in self._boards.values():
+            if board.forum_id not in self._forums:
+                raise DatasetError(f"board {board.board_id} dangling forum")
+        for thread in self._threads.values():
+            if thread.board_id not in self._boards:
+                raise DatasetError(f"thread {thread.thread_id} dangling board")
+            if thread.author_id not in self._actors:
+                raise DatasetError(f"thread {thread.thread_id} dangling author")
+        for post in self._posts.values():
+            if post.thread_id not in self._threads:
+                raise DatasetError(f"post {post.post_id} dangling thread")
+            if post.author_id not in self._actors:
+                raise DatasetError(f"post {post.post_id} dangling author")
+            if post.quoted_post_id is not None and post.quoted_post_id not in self._posts:
+                raise DatasetError(f"post {post.post_id} quotes unknown post {post.quoted_post_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ForumDataset(forums={self.n_forums}, boards={self.n_boards}, "
+            f"actors={self.n_actors}, threads={self.n_threads}, posts={self.n_posts})"
+        )

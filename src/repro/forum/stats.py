@@ -1,0 +1,109 @@
+"""Descriptive statistics over a forum dataset.
+
+Validation utilities for generated (or loaded) datasets: distributional
+summaries of thread lengths, per-actor activity and per-board volume.
+The world generator's calibration tests use these to check that the
+synthetic corpus has the concentration structure real forums exhibit
+(heavy-tailed participation, a small core of prolific actors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .dataset import ForumDataset
+from .models import Thread
+
+__all__ = ["DatasetStats", "Distribution", "dataset_stats", "gini"]
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = concentrated).
+
+    >>> round(gini([1, 1, 1, 1]), 3)
+    0.0
+    """
+    array = np.sort(np.asarray(values, dtype=np.float64))
+    if array.size == 0:
+        return 0.0
+    if np.any(array < 0):
+        raise ValueError("gini requires non-negative values")
+    total = array.sum()
+    if total == 0.0:
+        return 0.0
+    n = array.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * array)) / (n * total) - (n + 1.0) / n)
+
+
+@dataclass(frozen=True, slots=True)
+class Distribution:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    gini: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Distribution":
+        if len(values) == 0:
+            return Distribution(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        array = np.asarray(values, dtype=np.float64)
+        return Distribution(
+            n=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p90=float(np.quantile(array, 0.9)),
+            maximum=float(array.max()),
+            gini=gini(array),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Corpus-level summary of one dataset (or one thread selection)."""
+
+    n_threads: int
+    n_posts: int
+    n_actors: int
+    thread_length: Distribution
+    posts_per_actor: Distribution
+    posts_per_board: Dict[str, int]
+
+    @property
+    def posts_per_thread_mean(self) -> float:
+        return self.n_posts / self.n_threads if self.n_threads else 0.0
+
+
+def dataset_stats(
+    dataset: ForumDataset,
+    selection: Optional[Sequence[Thread]] = None,
+) -> DatasetStats:
+    """Summarise a dataset, optionally restricted to a thread selection."""
+    threads = list(selection) if selection is not None else list(dataset.threads())
+    lengths: List[int] = []
+    per_actor: Dict[int, int] = {}
+    per_board: Dict[str, int] = {}
+    n_posts = 0
+    for thread in threads:
+        posts = dataset.posts_in_thread(thread.thread_id)
+        lengths.append(len(posts))
+        n_posts += len(posts)
+        board_name = dataset.board(thread.board_id).name
+        per_board[board_name] = per_board.get(board_name, 0) + len(posts)
+        for post in posts:
+            per_actor[post.author_id] = per_actor.get(post.author_id, 0) + 1
+    return DatasetStats(
+        n_threads=len(threads),
+        n_posts=n_posts,
+        n_actors=len(per_actor),
+        thread_length=Distribution.of(lengths),
+        posts_per_actor=Distribution.of(list(per_actor.values())),
+        posts_per_board=per_board,
+    )

@@ -1,0 +1,84 @@
+"""JSONL persistence for :class:`~repro.forum.dataset.ForumDataset`.
+
+The on-disk format is one JSON object per line with a ``"kind"`` tag, in
+parents-first order, so a dataset streams back through
+:meth:`ForumDataset.extend` without buffering.  Datetimes are stored as ISO
+8601 strings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from datetime import datetime
+from pathlib import Path
+from typing import Iterator, Union
+
+from .dataset import DatasetError, ForumDataset
+from .models import Actor, Board, Forum, Post, Thread
+
+__all__ = ["load_dataset", "save_dataset"]
+
+_KINDS = {
+    "forum": Forum,
+    "board": Board,
+    "actor": Actor,
+    "thread": Thread,
+    "post": Post,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+_DATE_FIELDS = ("registered_at", "created_at")
+
+
+def _encode(record: object) -> str:
+    kind = _KIND_OF.get(type(record))
+    if kind is None:
+        raise DatasetError(f"cannot serialise {type(record).__name__}")
+    payload = asdict(record)  # type: ignore[arg-type]
+    for field_name in _DATE_FIELDS:
+        value = payload.get(field_name)
+        if isinstance(value, datetime):
+            payload[field_name] = value.isoformat()
+    payload["kind"] = kind
+    return json.dumps(payload, sort_keys=True)
+
+
+def _decode(line: str) -> object:
+    payload = json.loads(line)
+    kind = payload.pop("kind", None)
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise DatasetError(f"unknown record kind {kind!r}")
+    for field_name in _DATE_FIELDS:
+        if field_name in payload and payload[field_name] is not None:
+            payload[field_name] = datetime.fromisoformat(payload[field_name])
+    return cls(**payload)
+
+
+def _iter_records(dataset: ForumDataset) -> Iterator[object]:
+    yield from dataset.forums()
+    yield from dataset.boards()
+    yield from dataset.actors()
+    yield from dataset.threads()
+    for thread in dataset.threads():
+        yield from dataset.posts_in_thread(thread.thread_id)
+
+
+def save_dataset(dataset: ForumDataset, path: Union[str, Path]) -> int:
+    """Write ``dataset`` to ``path`` as JSONL; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in _iter_records(dataset):
+            handle.write(_encode(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_dataset(path: Union[str, Path]) -> ForumDataset:
+    """Load a JSONL dataset written by :func:`save_dataset`."""
+    dataset = ForumDataset()
+    with open(path, "r", encoding="utf-8") as handle:
+        dataset.extend(_decode(line) for line in handle if line.strip())
+    dataset.validate()
+    return dataset

@@ -1,0 +1,35 @@
+"""Synthetic image substrate: latents, rendering, transforms, packs."""
+
+from .image import (
+    DEFAULT_SIZE,
+    ImageKind,
+    ImageLatent,
+    SyntheticImage,
+    sample_latent,
+)
+from .pack import Pack, pack_stage_mix
+from .render import render_latent, skin_tone_for_model
+from .transforms import (
+    EVASION_TRANSFORMS,
+    PLATFORM_TRANSFORMS,
+    apply_transform,
+    register_transform,
+    transform_names,
+)
+
+__all__ = [
+    "DEFAULT_SIZE",
+    "EVASION_TRANSFORMS",
+    "ImageKind",
+    "ImageLatent",
+    "PLATFORM_TRANSFORMS",
+    "Pack",
+    "SyntheticImage",
+    "apply_transform",
+    "pack_stage_mix",
+    "register_transform",
+    "render_latent",
+    "sample_latent",
+    "skin_tone_for_model",
+    "transform_names",
+]

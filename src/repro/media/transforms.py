@@ -1,0 +1,153 @@
+"""Pixel-level image transformations.
+
+Two populations apply transformations in the measured ecosystem:
+
+* *actors* modify images to evade reverse image search (§4.5: mirroring,
+  watermarking, shadowing — "easily performed using automated tools");
+* *hosting platforms* recompress and resize uploads.
+
+Each transform is a pure function ``(pixels, seed) -> pixels`` registered
+by name, so a latent's ``transform_chain`` replays deterministically.  The
+perceptual-hash substrate (vision.photodna) is robust to recompression and
+light cropping but — as with real systems — defeated by mirroring, which
+is exactly the evasion trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "EVASION_TRANSFORMS",
+    "PLATFORM_TRANSFORMS",
+    "apply_transform",
+    "crop_border",
+    "mirror",
+    "recompress",
+    "register_transform",
+    "resize_small",
+    "shadow",
+    "watermark",
+]
+
+TransformFn = Callable[[np.ndarray, int], np.ndarray]
+
+_REGISTRY: Dict[str, TransformFn] = {}
+
+
+def register_transform(name: str, fn: TransformFn) -> None:
+    """Register a transform under ``name`` (overwrites are rejected)."""
+    if name in _REGISTRY:
+        raise ValueError(f"transform {name!r} already registered")
+    _REGISTRY[name] = fn
+
+
+def apply_transform(name: str, pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Apply a registered transform; raises KeyError for unknown names."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown transform {name!r}; known: {sorted(_REGISTRY)}") from None
+    return fn(pixels, seed)
+
+
+def transform_names() -> list:
+    """Sorted names of all registered transforms."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Individual transforms
+# ----------------------------------------------------------------------
+
+def mirror(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Horizontal flip — the classic reverse-search evasion (§4.5)."""
+    return pixels[:, ::-1, :].copy()
+
+
+def watermark(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Overlay a semi-transparent watermark band (preview branding)."""
+    rng = np.random.default_rng(seed)
+    out = pixels.copy()
+    size = out.shape[0]
+    band_height = max(3, size // 10)
+    top = int(rng.integers(size // 4, 3 * size // 4))
+    alpha = 0.45
+    colour = np.array([1.0, 1.0, 1.0])
+    out[top : top + band_height, :, :] = (
+        (1 - alpha) * out[top : top + band_height, :, :] + alpha * colour
+    )
+    # Watermark "text" dashes inside the band.
+    for column in range(4, size - 4, 6):
+        out[top + band_height // 2, column : column + 3, :] *= 0.4
+    return np.clip(out, 0.0, 1.0)
+
+
+def shadow(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Darken a corner region (the 'shadowing parts of the image' evasion)."""
+    rng = np.random.default_rng(seed)
+    out = pixels.copy()
+    size = out.shape[0]
+    height = int(rng.integers(size // 4, size // 2))
+    width = int(rng.integers(size // 4, size // 2))
+    corner = int(rng.integers(0, 4))
+    row_slice = slice(0, height) if corner < 2 else slice(size - height, size)
+    col_slice = slice(0, width) if corner % 2 == 0 else slice(size - width, size)
+    out[row_slice, col_slice, :] *= 0.35
+    return out
+
+
+def recompress(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Lossy recompression analogue: quantise levels and add block noise.
+
+    PhotoDNA-style robust hashes must survive this (§4.3 cites robust
+    hashing against "compression algorithms or geometric distortions").
+    """
+    rng = np.random.default_rng(seed)
+    levels = 24
+    quantised = np.round(pixels * levels) / levels
+    noise = rng.normal(0.0, 0.008, size=pixels.shape)
+    return np.clip(quantised + noise, 0.0, 1.0)
+
+
+def crop_border(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Crop up to ~8% from each border and rescale to the original size."""
+    rng = np.random.default_rng(seed)
+    size = pixels.shape[0]
+    margin = max(1, int(size * float(rng.uniform(0.02, 0.08))))
+    cropped = pixels[margin : size - margin, margin : size - margin, :]
+    return _rescale(cropped, size)
+
+
+def resize_small(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Downscale to half size and back (thumbnailing by hosting sites)."""
+    size = pixels.shape[0]
+    small = _rescale(pixels, max(size // 2, 8))
+    return _rescale(small, size)
+
+
+def _rescale(pixels: np.ndarray, new_size: int) -> np.ndarray:
+    """Nearest-neighbour rescale to ``new_size``² (adequate at raster scale)."""
+    height, width = pixels.shape[:2]
+    row_index = np.clip((np.arange(new_size) * height / new_size).astype(int), 0, height - 1)
+    col_index = np.clip((np.arange(new_size) * width / new_size).astype(int), 0, width - 1)
+    return pixels[np.ix_(row_index, col_index)]
+
+
+for _name, _fn in [
+    ("mirror", mirror),
+    ("watermark", watermark),
+    ("shadow", shadow),
+    ("recompress", recompress),
+    ("crop_border", crop_border),
+    ("resize_small", resize_small),
+]:
+    register_transform(_name, _fn)
+
+#: Transforms actors apply to evade reverse image search (§4.5).
+EVASION_TRANSFORMS: tuple = ("mirror", "watermark", "shadow")
+
+#: Transforms hosting platforms apply on upload.
+PLATFORM_TRANSFORMS: tuple = ("recompress", "resize_small")

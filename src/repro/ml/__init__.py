@@ -1,0 +1,25 @@
+"""Learning substrate: linear SVM, IR metrics, train/test splits."""
+
+from .linear_svm import LinearSVM, SVMNotFitted
+from .metrics import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+from .split import Split, train_test_split
+
+__all__ = [
+    "ConfusionMatrix",
+    "LinearSVM",
+    "SVMNotFitted",
+    "Split",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "precision",
+    "recall",
+    "train_test_split",
+]

@@ -1,0 +1,102 @@
+"""Information-retrieval evaluation metrics (§4.1).
+
+The paper evaluates the TOP classifier with precision, recall and F1
+score.  All functions take binary label arrays (any truthy/falsy values)
+and treat the positive class as 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "precision",
+    "recall",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfusionMatrix:
+    """Binary confusion counts with derived IR metrics."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0.0 when there are no positives."""
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions."""
+        return (self.true_positive + self.true_negative) / self.total if self.total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN); 0.0 when there are no negatives."""
+        denominator = self.false_positive + self.true_negative
+        return self.false_positive / denominator if denominator else 0.0
+
+
+def _binary(values) -> np.ndarray:
+    return (np.asarray(values).ravel() != 0).astype(np.int64)
+
+
+def confusion_matrix(y_true, y_pred) -> ConfusionMatrix:
+    """Compute binary confusion counts for aligned label arrays."""
+    truth = _binary(y_true)
+    predicted = _binary(y_pred)
+    if truth.shape != predicted.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    return ConfusionMatrix(
+        true_positive=int(np.sum((truth == 1) & (predicted == 1))),
+        false_positive=int(np.sum((truth == 0) & (predicted == 1))),
+        true_negative=int(np.sum((truth == 0) & (predicted == 0))),
+        false_negative=int(np.sum((truth == 1) & (predicted == 0))),
+    )
+
+
+def precision(y_true, y_pred) -> float:
+    """Precision of the positive class."""
+    return confusion_matrix(y_true, y_pred).precision
+
+
+def recall(y_true, y_pred) -> float:
+    """Recall of the positive class."""
+    return confusion_matrix(y_true, y_pred).recall
+
+
+def f1_score(y_true, y_pred) -> float:
+    """F1 score of the positive class."""
+    return confusion_matrix(y_true, y_pred).f1
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Overall accuracy."""
+    return confusion_matrix(y_true, y_pred).accuracy

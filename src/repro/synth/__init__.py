@@ -1,0 +1,48 @@
+"""World generation: profiles, supply side, forums, earnings, orchestration."""
+
+from .earnings_gen import EarningsPlanner, ProofPlan
+from .forum_gen import (
+    FORUM_SPECS,
+    ForumSpec,
+    ForumWorldGenerator,
+    GeneratedForums,
+    IdAllocator,
+)
+from .models_gen import (
+    CirculatingImage,
+    ModelIdentity,
+    OriginCopy,
+    SupplySide,
+    generate_supply_side,
+)
+from .profiles import (
+    INTEREST_CATEGORIES,
+    ActorProfile,
+    Archetype,
+    sample_ewhoring_post_count,
+    sample_profile,
+)
+from .world import World, WorldConfig, build_world
+
+__all__ = [
+    "ActorProfile",
+    "Archetype",
+    "CirculatingImage",
+    "EarningsPlanner",
+    "FORUM_SPECS",
+    "ForumSpec",
+    "ForumWorldGenerator",
+    "GeneratedForums",
+    "IdAllocator",
+    "INTEREST_CATEGORIES",
+    "ModelIdentity",
+    "OriginCopy",
+    "ProofPlan",
+    "SupplySide",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "generate_supply_side",
+    "sample_ewhoring_post_count",
+    "sample_profile",
+]

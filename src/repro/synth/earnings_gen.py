@@ -1,0 +1,184 @@
+"""Proof-of-earnings generation (§5 ground truth).
+
+Each earning actor produces a sequence of proof screenshots: dated
+transaction lists on a payment platform, denominated in a currency, with
+a total.  Calibration targets the §5.2 aggregates:
+
+* ~660 actors posting proofs at full scale, mean ≈ US$774 reported each,
+  the top reporter around US$20k over dozens of images;
+* mean transaction ≈ US$42, bulk between US$5–50, with a minority of
+  US$150–400 cam-show payments;
+* platform mix shifting from PayPal to Amazon Gift Cards around 2016
+  (Figure 3), with a trickle of Bitcoin and other platforms;
+* ~60% of proofs show itemised transactions, the rest only a balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..finance.money import Currency, PaymentPlatform
+from ..finance.rates import HistoricalRates
+from .profiles import ActorProfile, Archetype
+
+__all__ = ["EarningsPlanner", "ProofPlan"]
+
+_RATES = HistoricalRates()
+
+#: Proof-count range per archetype (low, high); heavy reporters post
+#: running updates (§5.2: one actor posted 46 images).
+_PROOF_RANGE = {
+    Archetype.LURKER: (1, 2),
+    Archetype.CASUAL: (1, 3),
+    Archetype.ACTIVE: (2, 8),
+    Archetype.HEAVY: (4, 24),
+    Archetype.ELITE: (10, 46),
+}
+
+_CURRENCY_WEIGHTS: Tuple[Tuple[Currency, float], ...] = (
+    (Currency.USD, 0.78),
+    (Currency.GBP, 0.10),
+    (Currency.EUR, 0.08),
+    (Currency.CAD, 0.02),
+    (Currency.AUD, 0.02),
+)
+
+
+def _agc_share(when: datetime) -> float:
+    """Probability a proof uses Amazon Gift Cards, by date (Figure 3).
+
+    Marginal AGC/PayPal split before 2014, AGC overtaking PayPal during
+    2016 and dominating after.
+    """
+    year = when.year + (when.month - 1) / 12.0
+    if year < 2012.0:
+        return 0.05
+    if year < 2016.0:
+        return 0.05 + (year - 2012.0) * (0.40 / 4.0)
+    return min(0.45 + (year - 2016.0) * 0.12, 0.75)
+
+
+@dataclass(frozen=True)
+class ProofPlan:
+    """Ground truth behind one proof-of-earnings image.
+
+    This is what a human annotator would read off the screenshot (§5.1):
+    platform, currency, transaction dates/amounts, time span and total.
+    Amounts are in the proof's own currency; USD conversion happens in
+    the measurement pipeline with historical rates.
+    """
+
+    date: datetime
+    platform: PaymentPlatform
+    currency: Currency
+    transactions: Tuple[Tuple[datetime, float], ...]
+    shows_transactions: bool
+    note: Optional[str] = None
+
+    @property
+    def total_in_currency(self) -> float:
+        return float(sum(amount for _, amount in self.transactions))
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def span_days(self) -> float:
+        if len(self.transactions) < 2:
+            return 0.0
+        dates = [d for d, _ in self.transactions]
+        return (max(dates) - min(dates)).total_seconds() / 86_400.0
+
+
+class EarningsPlanner:
+    """Draws proof sequences for earning actors."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def plan_actor_proofs(
+        self, profile: ActorProfile, window: Tuple[datetime, datetime]
+    ) -> List[ProofPlan]:
+        """Plan all proofs one actor will post within their window."""
+        rng = self.rng
+        low, high = _PROOF_RANGE[profile.archetype]
+        n_proofs = int(rng.integers(low, high + 1))
+        #: Per-actor "skill": scales every transaction; the long tail of
+        #: reported income comes from skilled regulars, not many proofs.
+        skill = float(np.clip(rng.lognormal(0.0, 0.65), 0.25, 6.0))
+
+        start, end = window
+        if end <= start:
+            end = start + timedelta(days=30)
+        span = (end - start).total_seconds()
+
+        proofs = []
+        offsets = np.sort(rng.random(n_proofs))
+        for offset in offsets:
+            when = start + timedelta(seconds=float(offset) * span)
+            proofs.append(self._plan_one(when, skill))
+        return proofs
+
+    # ------------------------------------------------------------------
+    def _plan_one(self, when: datetime, skill: float) -> ProofPlan:
+        rng = self.rng
+        platform = self._pick_platform(when)
+        currency = self._pick_currency(platform)
+        n_transactions = 1 + int(rng.poisson(4.0))
+        span_days = float(rng.uniform(1.0, 30.0))
+        amounts = self._transaction_amounts(n_transactions, skill)
+        if currency.is_crypto:
+            # Customers pay dollar-scale values; crypto proofs show the
+            # equivalent in coins at the day's rate.
+            amounts = np.round(amounts / _RATES.rate_to_usd(currency, when), 6)
+        offsets = np.sort(rng.random(n_transactions)) * span_days
+        transactions = tuple(
+            (when - timedelta(days=span_days - float(offset)), float(amount))
+            for offset, amount in zip(offsets, amounts)
+        )
+        return ProofPlan(
+            date=when,
+            platform=platform,
+            currency=currency,
+            transactions=transactions,
+            shows_transactions=bool(rng.random() < 0.60),
+            note="cam show" if any(a >= 150.0 for a in amounts) else None,
+        )
+
+    def _pick_platform(self, when: datetime) -> PaymentPlatform:
+        rng = self.rng
+        roll = rng.random()
+        agc = _agc_share(when)
+        if roll < agc:
+            return PaymentPlatform.AMAZON_GIFT_CARD
+        if roll < agc + 0.02:
+            return PaymentPlatform.BITCOIN
+        if roll < agc + 0.055:
+            return PaymentPlatform(
+                ["Skrill", "Western Union", "Cash", "Other"][int(rng.integers(0, 4))]
+            )
+        return PaymentPlatform.PAYPAL
+
+    def _pick_currency(self, platform: PaymentPlatform) -> Currency:
+        rng = self.rng
+        if platform is PaymentPlatform.BITCOIN:
+            return Currency.BTC
+        currencies = [c for c, _ in _CURRENCY_WEIGHTS]
+        weights = np.array([w for _, w in _CURRENCY_WEIGHTS])
+        weights /= weights.sum()
+        return currencies[int(rng.choice(len(currencies), p=weights))]
+
+    def _transaction_amounts(self, n: int, skill: float) -> np.ndarray:
+        """Transaction values: US$5–50 image trades, occasional US$150–400
+        cam shows (§5.2)."""
+        rng = self.rng
+        base = rng.lognormal(3.0, 0.65, size=n)
+        base = np.clip(base * skill, 3.0, 140.0)
+        cam_mask = rng.random(n) < 0.05
+        base[cam_mask] = rng.uniform(150.0, 400.0, size=int(cam_mask.sum()))
+        return np.round(base, 2)

@@ -1,0 +1,42 @@
+"""NLP substrate: tokenisation, stop words, TF-IDF, methodology lexicons."""
+
+from .lexicon import (
+    EARNINGS_KEYWORDS,
+    EWHORING_KEYWORDS,
+    PACK_KEYWORDS,
+    REQUEST_KEYWORDS,
+    TABLE2_LEXICONS,
+    TUTORIAL_KEYWORDS,
+    Lexicon,
+)
+from .normalize import (
+    collapse_stretches,
+    deleet,
+    normalize_forum_text,
+    strip_markup,
+)
+from .stopwords import STOPWORDS, is_stopword
+from .tokenize import count_question_marks, tokenize, tokenize_raw
+from .vectorize import TfidfVectorizer, Vocabulary, build_vocabulary
+
+__all__ = [
+    "EARNINGS_KEYWORDS",
+    "EWHORING_KEYWORDS",
+    "Lexicon",
+    "PACK_KEYWORDS",
+    "REQUEST_KEYWORDS",
+    "STOPWORDS",
+    "TABLE2_LEXICONS",
+    "TUTORIAL_KEYWORDS",
+    "TfidfVectorizer",
+    "Vocabulary",
+    "build_vocabulary",
+    "collapse_stretches",
+    "count_question_marks",
+    "deleet",
+    "normalize_forum_text",
+    "strip_markup",
+    "is_stopword",
+    "tokenize",
+    "tokenize_raw",
+]

@@ -1,0 +1,100 @@
+"""Forum-text normalisation (the §4.1 limitation's proposed remedy).
+
+§4.1 notes that NLP over underground-forum text suffers from "specific
+jargon, misleading vocabulary or syntax and grammar errors", and that
+"a potential solution would be to normalise the data into a common
+format".  This module implements that normaliser:
+
+* **de-leeting** — character substitutions inside words
+  (``p4ck`` → ``pack``, ``s3lling`` → ``selling``, ``pic$`` → ``pics``);
+* **stretch collapsing** — ``freeeee`` → ``free``;
+* **markup stripping** — BBCode-style ``[b]..[/b]`` tags are removed
+  (the bracketed *keywords* like ``[TUT]`` that Table 2 matches are
+  preserved — only paired formatting tags are stripped);
+* **whitespace canonicalisation**.
+
+The feature extractor and the heuristic classifier accept the
+normaliser as an optional preprocessing step; the A4 ablation measures
+what it buys on corrupted headings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+__all__ = ["deleet", "normalize_forum_text", "collapse_stretches", "strip_markup"]
+
+#: Leet substitutions applied inside alphabetic words.
+_LEET_MAP: Dict[str, str] = {
+    "0": "o",
+    "1": "i",
+    "3": "e",
+    "4": "a",
+    "5": "s",
+    "7": "t",
+    "$": "s",
+    "@": "a",
+    "+": "t",
+}
+
+_LEET_CHARS = set(_LEET_MAP)
+_WORD_SPLIT = re.compile(r"(\s+)")
+
+#: Paired BBCode formatting tags (``[b]bold[/b]``); single bracketed
+#: markers like ``[TUT]`` are left alone.
+_MARKUP = re.compile(r"\[(/?)(b|i|u|url|img|size|color|font|center|quote)(=[^\]]*)?\]",
+                     re.IGNORECASE)
+
+#: Three or more repeats of one letter.
+_STRETCH = re.compile(r"([a-zA-Z])\1{2,}")
+
+
+def deleet(text: str) -> str:
+    """Replace leet characters inside mixed alphanumeric words.
+
+    A token is de-leeted when it mixes letters with leet characters and
+    nothing else — pure numbers ("50") and ordinary punctuation are left
+    untouched.
+
+    >>> deleet("uns4tur4ted p4ck with pic$")
+    'unsaturated pack with pics'
+    >>> deleet("50 pics")
+    '50 pics'
+    """
+    parts = _WORD_SPLIT.split(text)
+    out = []
+    for part in parts:
+        core = part.strip(".,!?:;()[]\"'")
+        if (
+            core
+            and any(ch.isalpha() for ch in core)
+            and any(ch in _LEET_CHARS for ch in core)
+            and all(ch.isalpha() or ch in _LEET_CHARS for ch in core)
+        ):
+            fixed = "".join(_LEET_MAP.get(ch, ch) for ch in core)
+            part = part.replace(core, fixed, 1)
+        out.append(part)
+    return "".join(out)
+
+
+def collapse_stretches(text: str) -> str:
+    """Collapse letter stretches to two repeats (``freeee`` → ``free``).
+
+    Two repeats, not one, so legitimate doubles ('telling', 'account')
+    survive; triples in English are effectively always stretching.
+    """
+    return _STRETCH.sub(lambda m: m.group(1) * 2, text)
+
+
+def strip_markup(text: str) -> str:
+    """Remove paired BBCode formatting tags, preserving their content."""
+    return _MARKUP.sub("", text)
+
+
+def normalize_forum_text(text: str) -> str:
+    """Full normalisation pass: markup → leet → stretches → whitespace."""
+    text = strip_markup(text)
+    text = deleet(text)
+    text = collapse_stretches(text)
+    return " ".join(text.split())

@@ -1,0 +1,43 @@
+"""English stop-word list used by the document-term pipeline (§4.1).
+
+The paper excludes stop words before building the document-term matrix.
+This list covers standard English function words plus the forum-markup
+tokens (``quote``, ``img`` …) that would otherwise dominate post text.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["STOPWORDS", "is_stopword"]
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at
+    be because been before being below between both but by
+    can cannot could couldn
+    did didn do does doesn doing don down during
+    each few for from further
+    had hadn has hasn have haven having he her here hers herself him himself
+    his how
+    i if in into is isn it its itself
+    just
+    me more most mustn my myself
+    no nor not now
+    of off on once only or other ought our ours ourselves out over own
+    same shan she should shouldn so some such
+    than that the their theirs them themselves then there these they this
+    those through to too
+    under until up
+    very
+    was wasn we were weren what when where which while who whom why will with
+    won would wouldn
+    you your yours yourself yourselves
+    quote img url attachment spoiler
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (already lowercased) is a stop word."""
+    return token in STOPWORDS

@@ -1,0 +1,112 @@
+"""Document-term matrix and TF-IDF transform (§4.1).
+
+Implements the textual half of the hybrid classifier's feature space: a
+word-count matrix over a learned vocabulary, transformed with TF-IDF
+("term frequency – inverse document frequency").  Built on numpy only; the
+matrix is dense because the TOP-classification corpora are small (hundreds
+to a few thousand threads).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tokenize import tokenize
+
+__all__ = ["TfidfVectorizer", "Vocabulary", "build_vocabulary"]
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """An ordered term → column-index mapping."""
+
+    terms: tuple
+    index: Dict[str, int] = field(repr=False, default_factory=dict)
+
+    @staticmethod
+    def from_terms(terms: Sequence[str]) -> "Vocabulary":
+        ordered = tuple(terms)
+        return Vocabulary(terms=ordered, index={t: i for i, t in enumerate(ordered)})
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.index
+
+
+def build_vocabulary(
+    documents: Iterable[str],
+    min_df: int = 2,
+    max_terms: Optional[int] = 2000,
+) -> Vocabulary:
+    """Learn a vocabulary from raw documents.
+
+    Terms must appear in at least ``min_df`` documents; if more than
+    ``max_terms`` qualify, the most document-frequent are kept.  Ties are
+    broken alphabetically so the vocabulary is deterministic.
+    """
+    if min_df < 1:
+        raise ValueError("min_df must be >= 1")
+    document_frequency: Counter = Counter()
+    for document in documents:
+        document_frequency.update(set(tokenize(document)))
+    qualifying = [(term, df) for term, df in document_frequency.items() if df >= min_df]
+    qualifying.sort(key=lambda pair: (-pair[1], pair[0]))
+    if max_terms is not None:
+        qualifying = qualifying[:max_terms]
+    return Vocabulary.from_terms([term for term, _ in sorted(qualifying)])
+
+
+class TfidfVectorizer:
+    """Word-count + TF-IDF vectoriser fitted on a training corpus.
+
+    The IDF uses the smoothed form ``log((1 + n) / (1 + df)) + 1`` and rows
+    are L2-normalised, matching common information-retrieval practice.
+    """
+
+    def __init__(self, min_df: int = 2, max_terms: Optional[int] = 2000):
+        self.min_df = min_df
+        self.max_terms = max_terms
+        self.vocabulary: Optional[Vocabulary] = None
+        self._idf: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn vocabulary and IDF weights from ``documents``."""
+        self.vocabulary = build_vocabulary(documents, self.min_df, self.max_terms)
+        counts = self._count_matrix(documents)
+        n_docs = len(documents)
+        document_frequency = (counts > 0).sum(axis=0)
+        self._idf = np.log((1.0 + n_docs) / (1.0 + document_frequency)) + 1.0
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Map documents to L2-normalised TF-IDF rows."""
+        if self.vocabulary is None or self._idf is None:
+            raise RuntimeError("vectorizer must be fitted before transform")
+        counts = self._count_matrix(documents)
+        weighted = counts * self._idf[np.newaxis, :]
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``fit`` followed by ``transform``."""
+        return self.fit(documents).transform(documents)
+
+    # ------------------------------------------------------------------
+    def _count_matrix(self, documents: Sequence[str]) -> np.ndarray:
+        assert self.vocabulary is not None
+        index = self.vocabulary.index
+        matrix = np.zeros((len(documents), len(self.vocabulary)), dtype=np.float64)
+        for row, document in enumerate(documents):
+            for token in tokenize(document):
+                column = index.get(token)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        return matrix

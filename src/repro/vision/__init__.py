@@ -1,0 +1,41 @@
+"""Image-analysis substrate: NSFW scoring, OCR, robust hashing, reverse search."""
+
+from .nsfw import NsfwScorer, nsfw_score, skin_mask
+from .ocr import OcrEngine, WordBox, ocr_word_count
+from .photodna import (
+    AbuseSeverity,
+    HashListEntry,
+    HashListService,
+    MatchResult,
+    ReportLog,
+    ReportRecord,
+    hamming_distance,
+    robust_hash,
+)
+from .reverse_search import (
+    IndexedCopy,
+    ReverseImageIndex,
+    ReverseMatch,
+    ReverseSearchReport,
+)
+
+__all__ = [
+    "AbuseSeverity",
+    "HashListEntry",
+    "HashListService",
+    "IndexedCopy",
+    "MatchResult",
+    "NsfwScorer",
+    "OcrEngine",
+    "ReportLog",
+    "ReportRecord",
+    "ReverseImageIndex",
+    "ReverseMatch",
+    "ReverseSearchReport",
+    "WordBox",
+    "hamming_distance",
+    "nsfw_score",
+    "ocr_word_count",
+    "robust_hash",
+    "skin_mask",
+]

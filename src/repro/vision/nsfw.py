@@ -1,0 +1,89 @@
+"""OpenNSFW analogue: a nudity-probability scorer over pixels (§4.4).
+
+The real pipeline used Yahoo's OpenNSFW deep model, which returns a
+probability that an image contains indecent content.  This analogue
+detects skin-tone pixels chromatically, measures their coverage and
+spatial coherence, and maps the result through a calibrated logistic.
+
+The calibration reproduces the score *distribution* reported in §4.4:
+non-nude images score below 0.3 (text screenshots effectively 0), clothed
+models land in the ambiguous 0.1–0.7 band, and nude/sexual images score
+high.  Sand, wood and similar warm textures are false skin — the paper's
+"colours or textures resembling the human body" failure mode emerges
+naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["NsfwScorer", "nsfw_score", "skin_mask"]
+
+
+def skin_mask(pixels: np.ndarray) -> np.ndarray:
+    """Boolean mask of skin-tone pixels.
+
+    Chromatic rule: warm colours with red > green > blue, a sufficient
+    red–blue gap and mid-to-high brightness.  This is the classic
+    rule-based skin detector family; it has the same known failure modes
+    (sand, wood, beige walls) as the originals.
+    """
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise ValueError("pixels must be an H×W×3 array")
+    red = pixels[..., 0]
+    green = pixels[..., 1]
+    blue = pixels[..., 2]
+    return (
+        (red > 0.5)
+        & (red > green)
+        & (green > blue)
+        & ((red - blue) > 0.12)
+        & ((red - green) > 0.03)
+        & (red < 0.99)
+    )
+
+
+@dataclass(frozen=True)
+class NsfwScorer:
+    """Calibrated logistic scorer combining skin coverage and coherence.
+
+    ``score = sigmoid(gain · (0.8·coverage + 0.4·largest_blob − midpoint))``
+
+    where *coverage* is the skin-pixel fraction and *largest_blob* the
+    fraction covered by the single largest connected skin region (bodies
+    are coherent; scattered warm speckle is not).
+    """
+
+    gain: float = 18.0
+    midpoint: float = 0.30
+
+    def score(self, pixels: np.ndarray) -> float:
+        """NSFW probability in (0, 1) for one image raster."""
+        mask = skin_mask(pixels)
+        total = mask.size
+        coverage = float(mask.sum()) / total
+        if coverage > 0.0:
+            labels, n_components = ndimage.label(mask)
+            if n_components > 0:
+                sizes = ndimage.sum_labels(mask, labels, index=range(1, n_components + 1))
+                largest = float(np.max(sizes)) / total
+            else:  # pragma: no cover - coverage>0 implies components
+                largest = 0.0
+        else:
+            largest = 0.0
+        effective = 0.8 * coverage + 0.4 * largest
+        return float(1.0 / (1.0 + np.exp(-self.gain * (effective - self.midpoint))))
+
+    def __call__(self, pixels: np.ndarray) -> float:
+        return self.score(pixels)
+
+
+_DEFAULT_SCORER = NsfwScorer()
+
+
+def nsfw_score(pixels: np.ndarray) -> float:
+    """Score with the default calibration (module-level convenience)."""
+    return _DEFAULT_SCORER.score(pixels)

@@ -1,0 +1,53 @@
+"""Simulated-internet substrate: URLs, hosting services, fetch, archive, crawler."""
+
+from .archive import CrawlRecord, WaybackArchive
+from .crawler import (
+    CrawlResult,
+    CrawlStats,
+    CrawledImage,
+    Crawler,
+    LinkRecord,
+    content_digest,
+)
+from .internet import (
+    FetchResult,
+    FetchStatus,
+    HostedResource,
+    OriginSite,
+    SimulatedInternet,
+)
+from .sites import (
+    CLOUD_STORAGE_SERVICES,
+    IMAGE_SHARING_SERVICES,
+    HostingService,
+    ServiceKind,
+    all_services,
+    service_by_domain,
+)
+from .url import Url, extract_urls, normalize_url, registrable_domain
+
+__all__ = [
+    "CLOUD_STORAGE_SERVICES",
+    "CrawlRecord",
+    "CrawlResult",
+    "CrawlStats",
+    "CrawledImage",
+    "Crawler",
+    "FetchResult",
+    "FetchStatus",
+    "HostedResource",
+    "HostingService",
+    "IMAGE_SHARING_SERVICES",
+    "LinkRecord",
+    "OriginSite",
+    "ServiceKind",
+    "SimulatedInternet",
+    "Url",
+    "WaybackArchive",
+    "all_services",
+    "content_digest",
+    "extract_urls",
+    "normalize_url",
+    "registrable_domain",
+    "service_by_domain",
+]

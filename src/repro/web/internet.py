@@ -1,0 +1,227 @@
+"""The simulated internet: hosting, origin sites, and fetch semantics.
+
+This is the substrate the crawler (§4.2) runs against.  It models what
+the paper's crawler actually experienced:
+
+* content hosted on image-sharing / cloud-storage services, where a link
+  may be **alive**, **expired** (free-tier lifetime, deleted uploads),
+  **removed for ToS violations** (nudity/copyright), behind a
+  **registration wall** (Dropbox, Google Drive), or on a **defunct**
+  service (oron);
+* *origin sites* — porn sites, social networks, blogs, forums — where the
+  model images were published first, which the reverse-search index and
+  the Wayback archive know about.
+
+Fetch outcomes are sampled once at publish time from the hosting
+service's policy, using the internet's seeded RNG, so a world is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import string
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..media.image import SyntheticImage
+from ..media.pack import Pack
+from .sites import HostingService, ServiceKind, service_by_domain
+from .url import Url
+
+__all__ = [
+    "FetchResult",
+    "FetchStatus",
+    "HostedResource",
+    "OriginSite",
+    "SimulatedInternet",
+]
+
+_TOKEN_ALPHABET = string.ascii_lowercase + string.digits
+
+
+class FetchStatus(enum.Enum):
+    """Outcome of fetching a URL at crawl time."""
+
+    OK = "ok"
+    NOT_FOUND = "not_found"            # expired or deleted
+    REMOVED_TOS = "removed_tos"        # taken down for ToS violation
+    REGISTRATION_REQUIRED = "registration_required"
+    DEFUNCT = "defunct"                # the whole service is gone
+    UNKNOWN_HOST = "unknown_host"
+
+
+@dataclass(frozen=True, slots=True)
+class OriginSite:
+    """A site where images originate (provenance ground truth).
+
+    ``category`` is the *true* content category (e.g. ``"Pornography"``,
+    ``"Social Networking"``); the domain classifiers observe it noisily.
+    ``site_type`` is the §4.3 hosting typology (image sharing site, forum,
+    blog, social network, ...); ``region`` the hosting location.
+    """
+
+    domain: str
+    category: str
+    site_type: str
+    region: str
+
+
+@dataclass
+class HostedResource:
+    """One URL's content plus its sampled fate."""
+
+    url: Url
+    resource: Union[SyntheticImage, Pack]
+    uploaded_at: datetime
+    status: FetchStatus
+
+
+@dataclass(frozen=True, slots=True)
+class FetchResult:
+    """What the crawler gets back for a URL."""
+
+    url: Url
+    status: FetchStatus
+    resource: Optional[Union[SyntheticImage, Pack]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is FetchStatus.OK
+
+
+class SimulatedInternet:
+    """URL → content registry with policy-driven fetch outcomes."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._hosted: Dict[str, HostedResource] = {}
+        self._origin_sites: Dict[str, OriginSite] = {}
+        self._origin_urls: Dict[str, List[Url]] = {}
+
+    # ------------------------------------------------------------------
+    # Hosting on services
+    # ------------------------------------------------------------------
+    def mint_url(self, domain: str, prefix: str = "") -> Url:
+        """Allocate a fresh URL under ``domain``."""
+        while True:
+            token = "".join(
+                _TOKEN_ALPHABET[i] for i in self._rng.integers(0, len(_TOKEN_ALPHABET), size=8)
+            )
+            url = Url(host=domain, path=f"/{prefix}{token}")
+            if str(url) not in self._hosted:
+                return url
+
+    def host_on_service(
+        self,
+        service: HostingService,
+        resource: Union[SyntheticImage, Pack],
+        uploaded_at: datetime,
+        contains_nudity: bool,
+    ) -> Url:
+        """Publish content on a hosting service; its fate is sampled now.
+
+        The fate order mirrors reality: a defunct service loses
+        everything; otherwise ToS enforcement may remove flagged content;
+        otherwise free-tier link rot may expire it; registration walls
+        apply to whatever survives.
+        """
+        url = self.mint_url(service.domain)
+        if service.defunct:
+            status = FetchStatus.DEFUNCT
+        elif contains_nudity and self._rng.random() < service.tos_takedown_rate:
+            status = FetchStatus.REMOVED_TOS
+        elif self._rng.random() < service.dead_link_rate:
+            status = FetchStatus.NOT_FOUND
+        elif service.requires_registration and isinstance(resource, Pack):
+            status = FetchStatus.REGISTRATION_REQUIRED
+        else:
+            status = FetchStatus.OK
+        self._hosted[str(url)] = HostedResource(
+            url=url, resource=resource, uploaded_at=uploaded_at, status=status
+        )
+        return url
+
+    # ------------------------------------------------------------------
+    # Origin sites
+    # ------------------------------------------------------------------
+    def register_origin_site(self, site: OriginSite) -> None:
+        """Register a provenance site (idempotent per domain)."""
+        existing = self._origin_sites.get(site.domain)
+        if existing is not None and existing != site:
+            raise ValueError(f"conflicting registration for origin domain {site.domain}")
+        self._origin_sites[site.domain] = site
+
+    def host_on_origin(
+        self, site: OriginSite, image: SyntheticImage, uploaded_at: datetime
+    ) -> Url:
+        """Publish an image on an origin site (always alive)."""
+        if site.domain not in self._origin_sites:
+            self.register_origin_site(site)
+        url = self.mint_url(site.domain, prefix="img/")
+        self._hosted[str(url)] = HostedResource(
+            url=url, resource=image, uploaded_at=uploaded_at, status=FetchStatus.OK
+        )
+        self._origin_urls.setdefault(site.domain, []).append(url)
+        return url
+
+    def origin_site(self, domain: str) -> Optional[OriginSite]:
+        """Origin-site metadata for a domain, or ``None``."""
+        return self._origin_sites.get(domain)
+
+    def origin_sites(self) -> Iterator[OriginSite]:
+        """Iterate over all registered origin sites."""
+        return iter(self._origin_sites.values())
+
+    def origin_urls(self, domain: str) -> List[Url]:
+        """URLs published on one origin domain."""
+        return list(self._origin_urls.get(domain, []))
+
+    # ------------------------------------------------------------------
+    # Fetching
+    # ------------------------------------------------------------------
+    def fetch(self, url: Union[Url, str]) -> FetchResult:
+        """Fetch a URL at crawl time and return its content or failure."""
+        key = str(url)
+        hosted = self._hosted.get(key)
+        if hosted is None:
+            parsed = url if isinstance(url, Url) else None
+            return FetchResult(
+                url=parsed if parsed is not None else Url("unknown.invalid", "/"),
+                status=FetchStatus.UNKNOWN_HOST,
+            )
+        if hosted.status is FetchStatus.OK:
+            return FetchResult(url=hosted.url, status=FetchStatus.OK, resource=hosted.resource)
+        return FetchResult(url=hosted.url, status=hosted.status)
+
+    def hosted(self, url: Union[Url, str]) -> Optional[HostedResource]:
+        """Direct registry access (world construction and tests only)."""
+        return self._hosted.get(str(url))
+
+    @property
+    def n_hosted(self) -> int:
+        return len(self._hosted)
+
+    def region_of(self, domain: str) -> Optional[str]:
+        """Hosting region of an origin domain (for §4.3 IWF statistics)."""
+        site = self._origin_sites.get(domain)
+        if site is not None:
+            return site.region
+        return None
+
+    def site_type_of(self, domain: str) -> Optional[str]:
+        """Site typology of a domain (origin sites and hosting services)."""
+        site = self._origin_sites.get(domain)
+        if site is not None:
+            return site.site_type
+        service = service_by_domain(domain)
+        if service is not None:
+            return (
+                "image sharing site"
+                if service.kind is ServiceKind.IMAGE_SHARING
+                else "cloud storage"
+            )
+        return None

@@ -1,0 +1,45 @@
+"""Shared fixtures: one small synthetic world and one pipeline run.
+
+World construction and the full pipeline are the expensive pieces, so
+they are session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_world, run_pipeline
+from repro.synth import WorldConfig
+
+#: Scale used by the shared world: large enough that every pipeline stage
+#: has material to work with, small enough for quick test runs.
+TEST_SCALE = 0.02
+TEST_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A seeded synthetic world shared by all integration-style tests."""
+    return build_world(
+        WorldConfig(
+            seed=TEST_SEED,
+            scale=TEST_SCALE,
+            # Elevated abuse rates so the §4.3 stage has matches to find
+            # even in a small world.
+            underage_rate=0.30,
+            hashlist_rate=0.5,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def report(world):
+    """One full pipeline run over the shared world."""
+    return run_pipeline(world)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator for unit tests."""
+    return np.random.default_rng(12345)

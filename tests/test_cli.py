@@ -1,0 +1,85 @@
+"""Tests for the command-line interface and text renderers."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.report_text import (
+    render_digest,
+    render_earnings,
+    render_table1,
+    render_table5,
+    render_table7,
+    render_table8,
+)
+from repro.forum import load_dataset
+
+CLI_WORLD = ["--seed", "3", "--scale", "0.006"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 7
+        assert args.scale == 0.02
+        assert args.annotate == 1000
+
+
+class TestRenderers:
+    def test_table1_totals_line(self, report):
+        text = render_table1(report)
+        assert "TOTAL" in text
+        assert "Hackforums" in text
+
+    def test_table5_groups(self, report):
+        text = render_table5(report)
+        assert "packs" in text and "previews" in text
+
+    def test_table7_currencies(self, report):
+        text = render_table7(report.currency_exchange)
+        for currency in ("PayPal", "BTC", "AGC"):
+            assert currency in text
+
+    def test_table8_rows(self, report):
+        text = render_table8(report)
+        assert ">= 1" in text and ">= 1000" in text
+
+    def test_earnings_block(self, report):
+        text = render_earnings(report.earnings)
+        assert "mean transaction" in text
+
+    def test_digest_contains_all_sections(self, report):
+        digest = render_digest(report)
+        for marker in ("§3", "§4.1", "§4.2", "§4.3", "§4.4", "§4.5", "§5", "§6"):
+            assert marker in digest
+
+
+@pytest.mark.slow
+class TestCommands:
+    def test_build_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "world.jsonl"
+        code = main(["build", *CLI_WORLD, "--out", str(out)])
+        assert code == 0
+        dataset = load_dataset(out)
+        assert dataset.n_posts > 100
+
+    def test_run_prints_digest(self, capsys):
+        code = main(["run", *CLI_WORLD, "--annotate", "200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "== selection (§3) ==" in output
+        assert "key actors:" in output
+
+    def test_tables_writes_files(self, tmp_path, capsys):
+        out = tmp_path / "tables"
+        code = main(["tables", *CLI_WORLD, "--annotate", "200", "--out", str(out)])
+        assert code == 0
+        names = {p.name for p in out.iterdir()}
+        assert {"table1_forums.txt", "digest.txt"} <= names

@@ -1,0 +1,154 @@
+"""Tests for the §5 earnings pipeline and Table 7 CE analysis."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core import currency_exchange_table
+from repro.finance import PaymentPlatform
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+
+T0 = datetime(2016, 1, 1)
+T1 = datetime(2017, 1, 1)
+
+
+class TestEarningsOnWorld:
+    def test_funnel_monotone(self, report):
+        er = report.earnings
+        assert er.n_unique_urls >= er.n_downloaded
+        assert er.n_downloaded >= er.n_analyzable
+        assert er.n_analyzable == er.n_proofs + er.n_non_proofs
+        assert er.n_abuse_matched + er.n_indecent_filtered + er.n_analyzable == er.n_downloaded
+
+    def test_proofs_found(self, report):
+        assert report.earnings.n_proofs > 5
+
+    def test_annotation_matches_truth(self, world, report):
+        truth = world.forums.proof_truth
+        for record in report.earnings.records:
+            assert record.image_id in truth
+            plan = truth[record.image_id]
+            assert record.platform is plan.platform
+            assert record.n_transactions == plan.n_transactions
+
+    def test_non_proofs_not_in_truth(self, world, report):
+        # The oracle returned None exactly for non-proof images.
+        assert report.earnings.n_non_proofs >= 0
+
+    def test_indecent_images_never_annotated(self, world, report):
+        """The NSFV gate keeps model images away from annotation (§5.1:
+        'we have not visualised any image from models')."""
+        for record in report.earnings.records:
+            # every annotated image is a proof screenshot in ground truth
+            assert record.image_id in world.forums.proof_truth
+
+    def test_usd_conversion_positive(self, report):
+        for record in report.earnings.records:
+            assert record.total_usd > 0.0
+            if record.shows_transactions:
+                assert len(record.transaction_usd) == record.n_transactions
+                assert sum(record.transaction_usd) == pytest.approx(record.total_usd)
+
+    def test_mean_per_actor_ballpark(self, report):
+        """§5.2: mean reported income per actor ≈ US$774."""
+        mean = report.earnings.mean_per_actor_usd
+        assert 150 < mean < 4000
+
+    def test_mean_transaction_ballpark(self, report):
+        """§5.2: average transaction ≈ US$41.90."""
+        mean = report.earnings.mean_transaction_usd()
+        assert 15 < mean < 110
+
+    def test_platform_mix(self, report):
+        histogram = report.earnings.platform_histogram()
+        agc = histogram.get(PaymentPlatform.AMAZON_GIFT_CARD, 0)
+        paypal = histogram.get(PaymentPlatform.PAYPAL, 0)
+        # §5.2: AGC and PayPal dominate all other platforms combined.
+        others = sum(v for k, v in histogram.items()
+                     if k not in (PaymentPlatform.AMAZON_GIFT_CARD, PaymentPlatform.PAYPAL))
+        assert agc + paypal > 3 * max(others, 1)
+
+    def test_monthly_series_totals(self, report):
+        platforms = (PaymentPlatform.AMAZON_GIFT_CARD, PaymentPlatform.PAYPAL)
+        series = report.earnings.monthly_platform_series(platforms)
+        histogram = report.earnings.platform_histogram()
+        for platform in platforms:
+            assert sum(series[platform].values()) == histogram.get(platform, 0)
+
+    def test_figure3_crossover(self, report):
+        """Figure 3: PayPal dominates early, AGC after 2016."""
+        platforms = (PaymentPlatform.AMAZON_GIFT_CARD, PaymentPlatform.PAYPAL)
+        series = report.earnings.monthly_platform_series(platforms)
+        early_agc = sum(v for k, v in series[platforms[0]].items() if k < "2014-01")
+        early_pp = sum(v for k, v in series[platforms[1]].items() if k < "2014-01")
+        late_agc = sum(v for k, v in series[platforms[0]].items() if k >= "2017-01")
+        late_pp = sum(v for k, v in series[platforms[1]].items() if k >= "2017-01")
+        if early_agc + early_pp >= 8:
+            assert early_pp >= early_agc
+        if late_agc + late_pp >= 8:
+            assert late_agc >= late_pp
+
+    def test_cdf_data(self, report):
+        cdf = report.earnings.earnings_cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        counts = report.earnings.proof_count_cdf()
+        assert counts.sum() == report.earnings.n_proofs
+
+
+class TestCurrencyExchangeTable:
+    def build_ce_dataset(self):
+        ds = ForumDataset()
+        ds.add_forum(Forum(1, "HF", has_ewhoring_board=True))
+        ds.add_board(Board(10, 1, "eWhoring", is_ewhoring_board=True))
+        ds.add_board(Board(11, 1, "Currency Exchange", is_currency_exchange=True))
+        ds.add_actor(Actor(100, 1, "heavy", T0))
+        ds.add_actor(Actor(101, 1, "light", T0))
+        # Heavy actor: 60 eWhoring posts.
+        ds.add_thread(Thread(1000, 10, 1, 100, "ewhoring general", T0))
+        for i in range(60):
+            ds.add_post(Post(2000 + i, 1000, 100, T0, "post", i))
+        # Light actor: 2 posts.
+        for i in range(2):
+            ds.add_post(Post(2100 + i, 1000, 101, T0, "post", 60 + i))
+        # CE threads: one before the heavy actor's first eWhoring post,
+        # two after; one by the light actor.
+        before = Thread(3000, 11, 1, 100, "[H] PayPal [W] BTC",
+                        T0.replace(year=2015))
+        ds.add_thread(before)
+        ds.add_post(Post(4000, 3000, 100, before.created_at, "x", 0))
+        for i, heading in enumerate(["[H] AGC [W] BTC", "[H] pp [W] bitcoin"]):
+            t = Thread(3001 + i, 11, 1, 100, heading, T1)
+            ds.add_thread(t)
+            ds.add_post(Post(4001 + i, 3001 + i, 100, T1, "x", 0))
+        light_thread = Thread(3003, 11, 1, 101, "[H] AGC [W] PayPal", T1)
+        ds.add_thread(light_thread)
+        ds.add_post(Post(4003, 3003, 101, T1, "x", 0))
+        return ds
+
+    def test_only_heavy_actors_counted(self):
+        table = currency_exchange_table(self.build_ce_dataset(), min_ewhoring_posts=50)
+        assert table.n_actors == 1
+        assert table.n_threads == 2  # the pre-eWhoring thread is excluded
+
+    def test_marginals(self):
+        table = currency_exchange_table(self.build_ce_dataset(), min_ewhoring_posts=50)
+        assert table.offered == {"AGC": 1, "PayPal": 1}
+        assert table.wanted == {"BTC": 2}
+
+    def test_threshold_configurable(self):
+        table = currency_exchange_table(self.build_ce_dataset(), min_ewhoring_posts=1)
+        assert table.n_actors == 2
+
+    def test_world_table7_shape(self, report):
+        """Table 7 shape: BTC is the most wanted currency; AGC is offered
+        far more than it is wanted."""
+        ce = report.currency_exchange
+        if ce.n_threads < 30:
+            pytest.skip("too few CE threads at this scale")
+        assert ce.wanted.get("BTC", 0) == max(ce.wanted.values())
+        assert ce.offered.get("AGC", 0) > 2 * ce.wanted.get("AGC", 1)
+
+    def test_world_row_sums_equal(self, report):
+        ce = report.currency_exchange
+        assert sum(ce.offered.values()) == sum(ce.wanted.values()) == ce.n_threads

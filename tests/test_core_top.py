@@ -1,0 +1,178 @@
+"""Tests for TOP classification: features, heuristics, hybrid (§4.1)."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+from repro.core import (
+    HeuristicTopClassifier,
+    HybridTopClassifier,
+    ThreadFeatureExtractor,
+    thread_document,
+    thread_stats,
+)
+from repro.core.features import N_STAT_FEATURES
+
+T0 = datetime(2015, 1, 1)
+
+
+def build_dataset(entries):
+    """entries: list of (heading, opener, n_extra_replies)."""
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "F"))
+    ds.add_board(Board(2, 1, "B"))
+    ds.add_actor(Actor(3, 1, "op", T0))
+    threads = []
+    next_thread, next_post = 100, 1000
+    for heading, opener, n_replies in entries:
+        thread = Thread(next_thread, 2, 1, 3, heading, T0)
+        ds.add_thread(thread)
+        ds.add_post(Post(next_post, next_thread, 3, T0, opener, 0))
+        next_post += 1
+        for r in range(n_replies):
+            ds.add_post(Post(next_post, next_thread, 3, T0, "thanks", r + 1))
+            next_post += 1
+        threads.append(thread)
+        next_thread += 1
+    return ds, threads
+
+
+class TestThreadStats:
+    def test_link_counting(self):
+        opener = (
+            "previews https://imgur.com/a https://gyazo.com/b "
+            "pack https://mediafire.com/c other https://somewhere.org/d"
+        )
+        ds, threads = build_dataset([("pack thread", opener, 2)])
+        stats = thread_stats(ds, threads[0])
+        assert stats.n_imageshare_links == 2
+        assert stats.n_cloud_links == 1
+        assert stats.n_internal_links == 1
+        assert stats.n_replies == 2
+        assert stats.first_post_length == len(opener)
+
+    def test_heading_features(self):
+        ds, threads = build_dataset([("Looking for a pack? [Question]", "x", 0)])
+        stats = thread_stats(ds, threads[0])
+        assert stats.heading_question_marks == 1
+        assert stats.heading_request_keywords >= 2
+        assert stats.heading_pack_keywords >= 1
+
+    def test_as_array_width(self):
+        ds, threads = build_dataset([("x pack", "y", 0)])
+        assert thread_stats(ds, threads[0]).as_array().shape == (N_STAT_FEATURES,)
+
+
+class TestThreadDocument:
+    def test_heading_doubled(self):
+        ds, threads = build_dataset([("UNIQUEHEADING", "opener text", 1)])
+        doc = thread_document(ds, threads[0])
+        assert doc.count("UNIQUEHEADING") == 2
+        assert "opener text" in doc
+
+    def test_reply_truncation(self):
+        ds, threads = build_dataset([("h", "o", 20)])
+        doc = thread_document(ds, threads[0])
+        assert doc.count("thanks") <= 6
+
+
+class TestHeuristics:
+    CASES_TOP = [
+        "[FREE] Unsaturated Amber pack - 50 pics",
+        "Huge compilation: 300 pics of Mia",
+        "My private girl pack - Ruby - enjoy",
+    ]
+    CASES_NOT_TOP = [
+        "Looking for a good pack, any help?",          # request lexicon
+        "How to find new packs? quick question",       # question mark
+        "[TUT] The definite guide to ewhoring 2015",   # tutorial
+        "Is ewhoring dead in 2017?",                   # no pack words
+        "Post your earnings!",                         # earnings thread
+        "WTB unsaturated pack - paying well",          # buy keyword
+    ]
+
+    def test_positive_cases(self):
+        clf = HeuristicTopClassifier()
+        ds, threads = build_dataset([(h, "x", 0) for h in self.CASES_TOP])
+        assert all(clf.predict(ds, threads))
+
+    def test_negative_cases(self):
+        clf = HeuristicTopClassifier()
+        ds, threads = build_dataset([(h, "x", 0) for h in self.CASES_NOT_TOP])
+        assert not any(clf.predict(ds, threads))
+
+    def test_question_mark_tolerance_configurable(self):
+        ds, threads = build_dataset([("pack here?", "x", 0)])
+        assert not HeuristicTopClassifier().is_top(threads[0])
+        assert HeuristicTopClassifier(max_question_marks=1).is_top(threads[0])
+
+
+class TestFeatureExtractor:
+    def test_fit_transform_shape(self):
+        ds, threads = build_dataset(
+            [("pack pics here", "body body", 1), ("question help", "body", 0)] * 3
+        )
+        extractor = ThreadFeatureExtractor(min_df=1)
+        matrix = extractor.fit_transform(ds, threads)
+        assert matrix.shape[0] == len(threads)
+        assert matrix.shape[1] > N_STAT_FEATURES
+
+    def test_transform_requires_fit(self):
+        ds, threads = build_dataset([("x", "y", 0)])
+        with pytest.raises(RuntimeError):
+            ThreadFeatureExtractor().transform(ds, threads)
+
+    def test_empty_thread_list_after_fit(self):
+        ds, threads = build_dataset([("pack", "y", 0), ("other", "z", 0)])
+        extractor = ThreadFeatureExtractor(min_df=1).fit(ds, threads)
+        out = extractor.transform(ds, [])
+        assert out.shape[0] == 0
+
+    def test_fit_empty_raises(self):
+        ds, _ = build_dataset([("x", "y", 0)])
+        with pytest.raises(ValueError):
+            ThreadFeatureExtractor().fit(ds, [])
+
+    def test_stats_standardised(self):
+        entries = [(f"heading {i} pack", "body " * (i + 1), i) for i in range(6)]
+        ds, threads = build_dataset(entries)
+        extractor = ThreadFeatureExtractor(min_df=1)
+        matrix = extractor.fit_transform(ds, threads)
+        stats_block = matrix[:, :N_STAT_FEATURES]
+        # Columns with variance are z-scored: mean ~0.
+        assert abs(stats_block[:, 0].mean()) < 1e-9
+
+
+class TestHybridOnWorld:
+    def test_evaluation_quality(self, report):
+        """§4.1: the hybrid reaches high precision/recall (92/93 paper)."""
+        evaluation = report.top_evaluation
+        assert evaluation.precision > 0.7
+        assert evaluation.recall > 0.8
+        assert evaluation.f1 > 0.75
+
+    def test_union_consistency(self, report):
+        stats = report.extraction_stats
+        assert stats.n_hybrid >= max(stats.n_ml, stats.n_heuristic)
+        assert stats.n_hybrid <= stats.n_ml + stats.n_heuristic
+        assert stats.n_both <= min(stats.n_ml, stats.n_heuristic)
+        assert stats.ml_only + stats.heuristic_only + stats.n_both == stats.n_hybrid
+
+    def test_extraction_close_to_truth(self, world, report):
+        truth = sum(1 for v in world.forums.thread_types.values() if v == "top")
+        assert report.extraction_stats.n_hybrid == pytest.approx(truth, rel=0.35)
+
+    def test_bhw_has_no_extracted_tops(self, report):
+        assert report.tops_per_forum.get("BlackHatWorld", 0) <= 1
+
+    def test_predict_before_fit_raises(self):
+        ds, threads = build_dataset([("x", "y", 0)])
+        with pytest.raises(RuntimeError):
+            HybridTopClassifier().predict_ml(ds, threads)
+
+    def test_fit_label_mismatch(self):
+        ds, threads = build_dataset([("x", "y", 0)])
+        with pytest.raises(ValueError):
+            HybridTopClassifier().fit(ds, threads, [True, False])

@@ -1,0 +1,120 @@
+"""Tests for URL extraction and the snowball whitelist (§4.2)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import WhitelistBuilder, extract_links
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+from repro.web import ServiceKind, Url
+
+T0 = datetime(2016, 2, 2)
+
+
+def dataset_with_openers(openers):
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "F"))
+    ds.add_board(Board(2, 1, "B"))
+    ds.add_actor(Actor(3, 1, "op", T0))
+    threads = []
+    for i, opener in enumerate(openers):
+        thread = Thread(100 + i, 2, 1, 3, f"top {i}", T0)
+        ds.add_thread(thread)
+        ds.add_post(Post(1000 + i, 100 + i, 3, T0, opener, 0))
+        threads.append(thread)
+    return ds, threads
+
+
+class TestWhitelistBuilder:
+    def test_seed_whitelist_known(self):
+        builder = WhitelistBuilder()
+        assert builder.kind_of("imgur.com") is ServiceKind.IMAGE_SHARING
+        assert builder.kind_of("mediafire.com") is ServiceKind.CLOUD_STORAGE
+        assert builder.kind_of("unknown.com") is None
+
+    def test_snowball_discovers_registry_services(self):
+        builder = WhitelistBuilder()
+        added = builder.snowball([Url("gyazo.com", "/x"), Url("zippyshare.com", "/y")])
+        assert added >= 1
+        assert builder.kind_of("zippyshare.com") is ServiceKind.CLOUD_STORAGE
+
+    def test_snowball_rejects_non_services(self):
+        builder = WhitelistBuilder()
+        builder.snowball([Url("randomblog.org", "/post")])
+        assert builder.kind_of("randomblog.org") is None
+
+    def test_rejected_not_reinspected(self):
+        builder = WhitelistBuilder()
+        builder.snowball([Url("randomblog.org", "/a")])
+        inspections = builder.n_inspections
+        builder.snowball([Url("randomblog.org", "/b")])
+        assert builder.n_inspections == inspections
+
+    def test_case_insensitive(self):
+        builder = WhitelistBuilder()
+        builder.snowball([Url("gyazo.com", "/x")])
+        assert builder.kind_of("GYAZO.COM") is ServiceKind.IMAGE_SHARING
+
+
+class TestExtractLinks:
+    def test_classifies_by_service_kind(self):
+        ds, threads = dataset_with_openers([
+            "see https://imgur.com/a and https://mega.nz/f download",
+        ])
+        result = extract_links(ds, threads)
+        assert len(result.preview_links) == 1
+        assert len(result.pack_links) == 1
+        assert result.preview_links[0].link_kind == "preview"
+        assert result.pack_links[0].link_kind == "pack"
+
+    def test_unknown_urls_recorded(self):
+        ds, threads = dataset_with_openers(["go to https://example.org/page now"])
+        result = extract_links(ds, threads)
+        assert len(result.unknown_urls) == 1
+        assert result.all_links == []
+
+    def test_metadata_attached(self):
+        ds, threads = dataset_with_openers(["https://imgur.com/abc"])
+        record = extract_links(ds, threads).preview_links[0]
+        assert record.thread_id == threads[0].thread_id
+        assert record.post_id == 1000
+        assert record.author_id == 3
+        assert record.posted_at == T0
+
+    def test_threads_with_links_tracked(self):
+        ds, threads = dataset_with_openers([
+            "https://imgur.com/a", "no links here", "https://mega.nz/b",
+        ])
+        result = extract_links(ds, threads)
+        assert result.threads_with_links == {threads[0].thread_id, threads[2].thread_id}
+
+    def test_replies_scanned_optionally(self):
+        ds, threads = dataset_with_openers(["opener without links"])
+        ds.add_post(Post(2000, threads[0].thread_id, 3, T0,
+                         "mirror: https://mediafire.com/m", 1))
+        with_replies = extract_links(ds, threads, scan_replies=True)
+        without = extract_links(ds, threads, scan_replies=False)
+        assert len(with_replies.pack_links) == 1
+        assert len(without.pack_links) == 0
+
+    def test_links_per_domain(self):
+        ds, threads = dataset_with_openers([
+            "https://imgur.com/a https://imgur.com/b https://gyazo.com/c",
+        ])
+        result = extract_links(ds, threads)
+        counts = result.links_per_domain(ServiceKind.IMAGE_SHARING)
+        assert counts == {"imgur.com": 2, "gyazo.com": 1}
+
+    def test_world_links_shape(self, report):
+        """Tables 3/4 shape: imgur and MediaFire lead their families."""
+        preview_counts = report.links.links_per_domain(ServiceKind.IMAGE_SHARING)
+        pack_counts = report.links.links_per_domain(ServiceKind.CLOUD_STORAGE)
+        if preview_counts:
+            assert max(preview_counts, key=preview_counts.get) == "imgur.com"
+        if sum(pack_counts.values()) >= 10:
+            assert max(pack_counts, key=pack_counts.get) == "mediafire.com"
+
+    def test_world_link_gating_rate(self, report):
+        """§4.2: a minority of TOPs (18.7% in the paper) yield links."""
+        fraction = len(report.links.threads_with_links) / max(len(report.tops), 1)
+        assert 0.05 < fraction < 0.45

@@ -1,0 +1,148 @@
+"""Unit-level tests of the §5 earnings analyzer on a constructed world.
+
+The integration tests exercise the analyzer through the full pipeline;
+these tests build a minimal hand-wired dataset + internet so each
+selection rule of §5.1 is verified in isolation.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import EarningsAnalyzer, NsfvClassifier
+from repro.finance import Currency, PaymentPlatform
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+from repro.media import ImageKind, SyntheticImage, sample_latent
+from repro.synth.earnings_gen import ProofPlan
+from repro.vision import HashListService
+from repro.web import HostingService, ServiceKind, SimulatedInternet
+
+T0 = datetime(2016, 6, 1)
+
+SERVICE = HostingService("imgur", "imgur.com", ServiceKind.IMAGE_SHARING, 1.0, 0.0, 0.0)
+
+
+@pytest.fixture()
+def setting(rng):
+    """Dataset with one earnings thread, one proof-mention post, one
+    decoy thread; internet hosting one proof, one chat screenshot, one
+    indecent image."""
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "HF", has_ewhoring_board=True))
+    ds.add_board(Board(10, 1, "eWhoring", is_ewhoring_board=True))
+    ds.add_actor(Actor(100, 1, "earner", T0))
+    ds.add_actor(Actor(101, 1, "seller", T0))
+
+    net = SimulatedInternet(seed=1)
+
+    def host(kind, **kwargs):
+        image = SyntheticImage(host.counter, sample_latent(rng, kind, **kwargs))
+        host.counter += 1
+        url = net.host_on_service(SERVICE, image, T0, contains_nudity=kind.is_nude)
+        return image, url
+
+    host.counter = 1
+
+    proof_img, proof_url = host(ImageKind.PROOF_SCREENSHOT)
+    chat_img, chat_url = host(ImageKind.CHAT_SCREENSHOT)
+    nude_img, nude_url = host(ImageKind.MODEL_NUDE, model_id=1)
+
+    # Earnings thread (heading matches 'earn').
+    t1 = Thread(1000, 10, 1, 100, "Post your earnings!", T0)
+    ds.add_thread(t1)
+    ds.add_post(Post(1, 1000, 100, T0, "share below", 0))
+    ds.add_post(Post(2, 1000, 100, T0, f"made $200, proof {proof_url}", 1))
+    ds.add_post(Post(3, 1000, 101, T0, f"look at this chat {chat_url}", 2))
+    ds.add_post(Post(4, 1000, 101, T0, f"preview here {nude_url}", 3))
+
+    # A TOP-ish thread with a 'proof' + trading-term post.
+    t2 = Thread(1001, 10, 1, 101, "random ewhoring chat", T0)
+    ds.add_thread(t2)
+    ds.add_post(Post(5, 1001, 101, T0, "opener", 0))
+    dup_img, dup_url = host(ImageKind.PROOF_SCREENSHOT)
+    ds.add_post(Post(6, 1001, 101, T0,
+                     f"selling my method, proof of sales: {dup_url}", 1))
+    # A post with 'proof' but no trading term must NOT be selected.
+    miss_img, miss_url = host(ImageKind.PROOF_SCREENSHOT)
+    ds.add_post(Post(7, 1001, 100, T0, f"here is proof {miss_url}", 2))
+
+    proofs = {
+        proof_img.image_id: ProofPlan(
+            date=T0, platform=PaymentPlatform.PAYPAL, currency=Currency.USD,
+            transactions=((T0, 120.0), (T0, 80.0)), shows_transactions=True,
+        ),
+        dup_img.image_id: ProofPlan(
+            date=T0, platform=PaymentPlatform.AMAZON_GIFT_CARD,
+            currency=Currency.USD, transactions=((T0, 300.0),),
+            shows_transactions=False,
+        ),
+    }
+    return ds, net, proofs
+
+
+class TestSelection:
+    def run(self, setting):
+        ds, net, proofs = setting
+        analyzer = EarningsAnalyzer(
+            ds, net, HashListService(), annotator=proofs.get
+        )
+        return analyzer.analyze()
+
+    def test_earnings_thread_selected(self, setting):
+        result = self.run(setting)
+        assert result.n_threads_matched == 1  # only the 'earnings!' heading
+
+    def test_proof_plus_trading_post_selected(self, setting):
+        result = self.run(setting)
+        # Links: 3 from the earnings thread + 1 from the proof-mention
+        # post; the bare-'proof' post is not selected.
+        assert result.n_unique_urls == 4
+
+    def test_downloads_all_alive(self, setting):
+        result = self.run(setting)
+        assert result.n_downloaded == 4
+
+    def test_nsfv_filters_the_nude(self, setting):
+        result = self.run(setting)
+        assert result.n_indecent_filtered == 1
+        assert result.n_analyzable == 3
+
+    def test_annotation_split(self, setting):
+        result = self.run(setting)
+        assert result.n_proofs == 2
+        assert result.n_non_proofs == 1  # the chat screenshot
+
+    def test_usd_totals(self, setting):
+        result = self.run(setting)
+        assert result.total_usd == pytest.approx(500.0)
+        totals = result.per_actor_totals()
+        assert totals[100] == pytest.approx(200.0)
+        assert totals[101] == pytest.approx(300.0)
+
+    def test_itemised_transactions(self, setting):
+        result = self.run(setting)
+        itemised = [r for r in result.records if r.shows_transactions]
+        assert len(itemised) == 1
+        assert itemised[0].transaction_usd == (120.0, 80.0)
+        assert result.mean_transaction_usd() == pytest.approx(100.0)
+
+    def test_platform_histogram(self, setting):
+        result = self.run(setting)
+        histogram = result.platform_histogram()
+        assert histogram[PaymentPlatform.PAYPAL] == 1
+        assert histogram[PaymentPlatform.AMAZON_GIFT_CARD] == 1
+
+    def test_currency_conversion_uses_rates(self, setting, rng):
+        ds, net, proofs = setting
+        # Add a GBP proof: its USD value must exceed the face amount.
+        image = SyntheticImage(999, sample_latent(rng, ImageKind.PROOF_SCREENSHOT))
+        url = net.host_on_service(SERVICE, image, T0, contains_nudity=False)
+        thread = ds.thread(1000)
+        ds.add_post(Post(8, 1000, 100, T0, f"gbp earnings {url}", 4))
+        proofs[999] = ProofPlan(
+            date=T0, platform=PaymentPlatform.PAYPAL, currency=Currency.GBP,
+            transactions=((T0, 100.0),), shows_transactions=True,
+        )
+        result = EarningsAnalyzer(ds, net, HashListService(), annotator=proofs.get).analyze()
+        gbp_record = next(r for r in result.records if r.image_id == 999)
+        assert gbp_record.total_usd > 110.0  # GBP > USD throughout the range

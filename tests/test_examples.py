@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+SCALED = [
+    ("quickstart.py", "0.006"),
+    ("image_provenance_study.py", "0.008"),
+    ("financial_study.py", "0.008"),
+    ("actor_study.py", "0.006"),
+]
+
+
+@pytest.mark.slow
+class TestExamples:
+    @pytest.mark.parametrize("script,scale", SCALED)
+    def test_scaled_example_runs(self, script, scale):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / script), scale],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+    def test_safety_workflow_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "safety_workflow.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "reported to hotline" in result.stdout
+        assert "NOT safe" in result.stdout

@@ -1,0 +1,156 @@
+"""Tests for the money substrate: Money, rates, CE-heading parsing."""
+
+from datetime import date, datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finance import (
+    Currency,
+    ExchangeOffer,
+    HistoricalRates,
+    Money,
+    PaymentPlatform,
+    RateError,
+    UNCLASSIFIED,
+    canonical_currency,
+    parse_exchange_heading,
+)
+
+
+class TestMoney:
+    def test_addition_same_currency(self):
+        total = Money(10.0, Currency.USD) + Money(5.0, Currency.USD)
+        assert total.amount == 15.0
+
+    def test_addition_mixed_currency_rejected(self):
+        with pytest.raises(ValueError):
+            Money(1.0, Currency.USD) + Money(1.0, Currency.EUR)
+
+    def test_subtraction(self):
+        assert (Money(10.0, Currency.GBP) - Money(4.0, Currency.GBP)).amount == 6.0
+
+    def test_scaled(self):
+        assert Money(10.0, Currency.USD).scaled(0.5).amount == 5.0
+
+    def test_currency_type_checked(self):
+        with pytest.raises(TypeError):
+            Money(1.0, "USD")
+
+    def test_str_fiat_and_crypto(self):
+        assert "USD" in str(Money(1234.5, Currency.USD))
+        assert "BTC" in str(Money(0.01, Currency.BTC))
+
+    def test_crypto_flag(self):
+        assert Currency.BTC.is_crypto
+        assert not Currency.USD.is_crypto
+
+
+class TestRates:
+    RATES = HistoricalRates()
+
+    def test_usd_identity(self):
+        assert self.RATES.rate_to_usd(Currency.USD, date(2015, 6, 1)) == 1.0
+
+    def test_fiat_near_base(self):
+        rate = self.RATES.rate_to_usd(Currency.GBP, date(2014, 1, 1))
+        assert 1.1 < rate < 1.8
+
+    def test_rates_deterministic(self):
+        d = date(2016, 3, 3)
+        assert self.RATES.rate_to_usd(Currency.EUR, d) == self.RATES.rate_to_usd(Currency.EUR, d)
+
+    def test_btc_growth_path(self):
+        early = self.RATES.rate_to_usd(Currency.BTC, date(2010, 6, 1))
+        mid = self.RATES.rate_to_usd(Currency.BTC, date(2014, 6, 1))
+        late = self.RATES.rate_to_usd(Currency.BTC, date(2018, 6, 1))
+        assert early < 5.0
+        assert early < mid < late
+        assert late > 500.0
+
+    def test_out_of_range_date(self):
+        with pytest.raises(RateError):
+            self.RATES.rate_to_usd(Currency.EUR, date(2001, 1, 1))
+
+    def test_datetime_accepted(self):
+        value = self.RATES.rate_to_usd(Currency.EUR, datetime(2015, 1, 1, 12, 30))
+        assert value > 0
+
+    def test_convert_round_trip(self):
+        when = date(2016, 5, 5)
+        eur = Money(100.0, Currency.EUR)
+        usd = self.RATES.convert(eur, when)
+        back = self.RATES.convert(usd, when, target=Currency.EUR)
+        assert back.amount == pytest.approx(100.0)
+
+    def test_to_usd_shorthand(self):
+        when = date(2016, 5, 5)
+        assert self.RATES.to_usd(Money(3.0, Currency.USD), when) == pytest.approx(3.0)
+
+    @given(st.integers(min_value=0, max_value=4500))
+    @settings(max_examples=60)
+    def test_all_rates_positive_and_finite(self, offset_days):
+        from datetime import timedelta
+
+        when = date(2008, 1, 1) + timedelta(days=offset_days)
+        for currency in Currency:
+            rate = self.RATES.rate_to_usd(currency, when)
+            assert 0 < rate < 1e6
+
+
+class TestCanonicalCurrency:
+    @pytest.mark.parametrize("token,expected", [
+        ("PayPal", "PayPal"),
+        ("pp", "PayPal"),
+        ("BTC", "BTC"),
+        ("bitcoin", "BTC"),
+        ("AGC", "AGC"),
+        ("amazon gift card", "AGC"),
+        ("$50 amazon", "AGC"),
+        ("skrill", "others"),
+        ("LTC", "others"),
+        ("rare skins", "?"),
+        ("", "?"),
+        ("$100", "?"),
+    ])
+    def test_aliases(self, token, expected):
+        assert canonical_currency(token) == expected
+
+
+class TestParseExchangeHeading:
+    def test_standard_format(self):
+        offer = parse_exchange_heading("[H] PayPal [W] BTC")
+        assert offer == ExchangeOffer("PayPal", "BTC")
+        assert offer.parsed
+
+    def test_amounts_stripped(self):
+        offer = parse_exchange_heading("[H] $120 Amazon GC [W] 0.05 BTC")
+        assert offer.offered == "AGC"
+        assert offer.wanted == "BTC"
+
+    def test_case_insensitive_tags(self):
+        offer = parse_exchange_heading("[h] pp [w] bitcoin")
+        assert offer == ExchangeOffer("PayPal", "BTC")
+
+    def test_missing_tags(self):
+        offer = parse_exchange_heading("quick exchange anyone?")
+        assert offer.offered == UNCLASSIFIED
+        assert offer.wanted == UNCLASSIFIED
+        assert not offer.parsed
+
+    def test_unknown_currency(self):
+        offer = parse_exchange_heading("[H] rare skins [W] offers")
+        assert offer.offered == UNCLASSIFIED
+
+    def test_only_have_tag(self):
+        offer = parse_exchange_heading("[H] PayPal - looking for offers")
+        assert offer.offered == "PayPal"
+        assert offer.wanted == UNCLASSIFIED
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=80)
+    def test_parser_total(self, heading):
+        offer = parse_exchange_heading(heading)
+        valid = {"PayPal", "BTC", "AGC", "others", UNCLASSIFIED}
+        assert offer.offered in valid
+        assert offer.wanted in valid

@@ -1,0 +1,98 @@
+"""Tests for dataset descriptive statistics."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+from repro.forum.stats import DatasetStats, Distribution, dataset_stats, gini
+
+T0 = datetime(2015, 1, 1)
+
+
+class TestGini:
+    def test_equal_sample_zero(self):
+        assert gini([5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_sample_high(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_bounds(self, values):
+        value = gini(values)
+        assert -1e-9 <= value < 1.0
+
+    def test_scale_invariant(self):
+        sample = [1, 4, 9, 16]
+        assert gini(sample) == pytest.approx(gini([x * 7 for x in sample]))
+
+
+class TestDistribution:
+    def test_of_sample(self):
+        dist = Distribution.of([1, 2, 3, 4, 10])
+        assert dist.n == 5
+        assert dist.mean == pytest.approx(4.0)
+        assert dist.median == 3.0
+        assert dist.maximum == 10.0
+
+    def test_empty(self):
+        dist = Distribution.of([])
+        assert dist.n == 0
+        assert dist.mean == 0.0
+
+
+class TestDatasetStats:
+    def make(self):
+        ds = ForumDataset()
+        ds.add_forum(Forum(1, "F"))
+        ds.add_board(Board(2, 1, "A"))
+        ds.add_board(Board(3, 1, "B"))
+        ds.add_actor(Actor(10, 1, "x", T0))
+        ds.add_actor(Actor(11, 1, "y", T0))
+        ds.add_thread(Thread(100, 2, 1, 10, "t1", T0))
+        ds.add_post(Post(1000, 100, 10, T0, "a", 0))
+        ds.add_post(Post(1001, 100, 11, T0, "b", 1))
+        ds.add_post(Post(1002, 100, 11, T0, "c", 2))
+        ds.add_thread(Thread(101, 3, 1, 11, "t2", T0))
+        ds.add_post(Post(1003, 101, 11, T0, "d", 0))
+        return ds
+
+    def test_counts(self):
+        stats = dataset_stats(self.make())
+        assert stats.n_threads == 2
+        assert stats.n_posts == 4
+        assert stats.n_actors == 2
+        assert stats.posts_per_thread_mean == pytest.approx(2.0)
+
+    def test_per_board(self):
+        stats = dataset_stats(self.make())
+        assert stats.posts_per_board == {"A": 3, "B": 1}
+
+    def test_selection_restricts(self):
+        ds = self.make()
+        selection = [ds.thread(100)]
+        stats = dataset_stats(ds, selection)
+        assert stats.n_threads == 1
+        assert stats.n_posts == 3
+
+    def test_world_heavy_tail(self, world, report):
+        """The generated corpus must show heavy-tailed participation:
+        a high Gini on posts-per-actor, as real forums do."""
+        stats = dataset_stats(world.dataset, report.selection)
+        assert stats.posts_per_actor.gini > 0.4
+        assert stats.thread_length.maximum > 5 * stats.thread_length.median
+        assert stats.n_posts == sum(
+            len(world.dataset.posts_in_thread(t.thread_id)) for t in report.selection
+        )

@@ -1,0 +1,83 @@
+"""Tests for JSONL dataset persistence."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.forum import (
+    Actor,
+    Board,
+    Forum,
+    ForumDataset,
+    Post,
+    Thread,
+    load_dataset,
+    save_dataset,
+)
+
+T0 = datetime(2014, 6, 15, 12, 30)
+
+
+@pytest.fixture()
+def sample_dataset() -> ForumDataset:
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "F", has_ewhoring_board=True))
+    ds.add_board(Board(2, 1, "eWhoring", category="Market", is_ewhoring_board=True))
+    ds.add_actor(Actor(3, 1, "carol", T0))
+    ds.add_thread(Thread(4, 2, 1, 3, "pack thread", T0))
+    ds.add_post(Post(5, 4, 3, T0, "content with ünïcode", 0))
+    ds.add_post(Post(6, 4, 3, T0, "quoting", 1, quoted_post_id=5))
+    return ds
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, sample_dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        n = save_dataset(sample_dataset, path)
+        assert n == 6
+        loaded = load_dataset(path)
+        assert loaded.n_forums == 1
+        assert loaded.n_posts == 2
+
+    def test_record_fields_preserved(self, sample_dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset(sample_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.forum(1).has_ewhoring_board
+        assert loaded.board(2).is_ewhoring_board
+        assert loaded.actor(3).username == "carol"
+        assert loaded.thread(4).heading == "pack thread"
+        post = loaded.post(5)
+        assert post.content == "content with ünïcode"
+        assert post.created_at == T0
+        assert loaded.post(6).quoted_post_id == 5
+
+    def test_double_round_trip_identical(self, sample_dataset, tmp_path):
+        p1 = tmp_path / "one.jsonl"
+        p2 = tmp_path / "two.jsonl"
+        save_dataset(sample_dataset, p1)
+        save_dataset(load_dataset(p1), p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(Exception):
+            load_dataset(path)
+
+    def test_blank_lines_ignored(self, sample_dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset(sample_dataset, path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = load_dataset(path)
+        assert loaded.n_posts == 2
+
+
+class TestWorldRoundTrip:
+    def test_generated_world_round_trips(self, world, tmp_path):
+        path = tmp_path / "world.jsonl"
+        save_dataset(world.dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.n_threads == world.dataset.n_threads
+        assert loaded.n_posts == world.dataset.n_posts
+        assert loaded.n_actors == world.dataset.n_actors

@@ -1,0 +1,66 @@
+"""Tests for the alternative perceptual hashes (aHash / dHash)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media import ImageKind, SyntheticImage, apply_transform, sample_latent
+from repro.vision import hamming_distance
+from repro.vision.hashes import HASH_FUNCTIONS, average_hash, difference_hash
+
+
+def render(rng, kind=ImageKind.MODEL_NUDE, model_id=1):
+    return SyntheticImage(0, sample_latent(rng, kind, model_id=model_id)).pixels
+
+
+ALL_HASHES = sorted(HASH_FUNCTIONS.items())
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name,fn", ALL_HASHES)
+    def test_deterministic(self, name, fn, rng):
+        pixels = render(rng)
+        assert fn(pixels) == fn(pixels)
+
+    @pytest.mark.parametrize("name,fn", ALL_HASHES)
+    def test_64_bit(self, name, fn, rng):
+        value = fn(render(rng))
+        assert 0 <= value < 2**64
+
+    @pytest.mark.parametrize("name,fn", ALL_HASHES)
+    def test_distinct_images_differ(self, name, fn, rng):
+        a = fn(render(rng, model_id=1))
+        b = fn(render(rng, model_id=2))
+        assert hamming_distance(a, b) > 5
+
+    @pytest.mark.parametrize("name,fn", ALL_HASHES)
+    def test_recompression_robust(self, name, fn, rng):
+        pixels = render(rng)
+        out = apply_transform("recompress", pixels, seed=2)
+        assert hamming_distance(fn(pixels), fn(out)) <= 8
+
+    def test_ahash_brightness_shift_sensitivity(self, rng):
+        # aHash thresholds at the mean, so a global shift is benign.
+        pixels = render(rng)
+        brighter = np.clip(pixels + 0.05, 0.0, 1.0)
+        assert hamming_distance(average_hash(pixels), average_hash(brighter)) <= 10
+
+    def test_dhash_row_structure(self):
+        # A pure horizontal gradient has every difference positive.
+        gradient = np.tile(np.linspace(0, 1, 64), (64, 1))
+        pixels = np.stack([gradient] * 3, axis=2)
+        assert difference_hash(pixels) == 2**64 - 1
+
+    def test_ahash_flat_image(self):
+        flat = np.full((32, 32, 3), 0.5)
+        # No pixel exceeds the mean strictly: all bits zero.
+        assert average_hash(flat) == 0
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_all_hashes_total_on_random_renders(self, seed):
+        rng = np.random.default_rng(seed)
+        pixels = render(rng, ImageKind.LANDSCAPE, model_id=None)
+        for name, fn in HASH_FUNCTIONS.items():
+            value = fn(pixels)
+            assert 0 <= value < 2**64, name

@@ -1,0 +1,173 @@
+"""Tests for the §8 intervention simulations."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import (
+    BlacklistIntervention,
+    payment_account_takedown,
+    regulate_gift_card_exchange,
+)
+from repro.core.earnings import EarningsResult, ProofRecord
+from repro.finance import Currency, PaymentPlatform
+from repro.media import ImageKind, Pack, SyntheticImage, apply_transform, sample_latent
+from repro.web import LinkRecord, Url
+from repro.web.crawler import CrawlResult, CrawlStats, CrawledImage, content_digest
+
+T0 = datetime(2017, 3, 1)
+
+
+def crawled(image, pack_id=None):
+    return CrawledImage(
+        image=image,
+        digest=content_digest(image),
+        link=LinkRecord(url=Url("mediafire.com", f"/x{image.image_id}"), posted_at=T0),
+        pack_id=pack_id,
+    )
+
+
+def make_images(rng, n, start_id=0, model_id=1):
+    return [
+        SyntheticImage(start_id + i,
+                       sample_latent(rng, ImageKind.MODEL_NUDE, model_id=model_id))
+        for i in range(n)
+    ]
+
+
+class TestBlacklist:
+    def test_blocks_seeded_images(self, rng):
+        images = make_images(rng, 4)
+        blacklist = BlacklistIntervention()
+        added = blacklist.seed_from_images([crawled(i) for i in images])
+        assert added == 4
+        for image in images:
+            assert blacklist.blocks(image.pixels)
+
+    def test_duplicate_seeds_collapsed(self, rng):
+        image = make_images(rng, 1)[0]
+        blacklist = BlacklistIntervention()
+        added = blacklist.seed_from_images([crawled(image), crawled(image)])
+        assert added == 1
+
+    def test_unknown_image_passes(self, rng):
+        blacklist = BlacklistIntervention()
+        blacklist.seed_from_images([crawled(i) for i in make_images(rng, 3)])
+        fresh = make_images(rng, 1, start_id=50, model_id=9)[0]
+        assert not blacklist.blocks(fresh.pixels)
+
+    def test_recompressed_copy_still_blocked(self, rng):
+        image = make_images(rng, 1)[0]
+        blacklist = BlacklistIntervention()
+        blacklist.seed_from_images([crawled(image)])
+        recompressed = apply_transform("recompress", image.pixels, seed=3)
+        assert blacklist.blocks(recompressed)
+
+    def test_mirror_evades(self, rng):
+        image = make_images(rng, 1)[0]
+        blacklist = BlacklistIntervention()
+        blacklist.seed_from_images([crawled(image)])
+        mirrored = apply_transform("mirror", image.pixels)
+        assert not blacklist.blocks(mirrored)
+
+    def test_empty_blacklist_blocks_nothing(self, rng):
+        image = make_images(rng, 1)[0]
+        assert not BlacklistIntervention().blocks(image.pixels)
+
+    def test_evaluate_on_future_crawl(self, rng):
+        known = make_images(rng, 6)
+        fresh = make_images(rng, 6, start_id=100, model_id=2)
+        blacklist = BlacklistIntervention()
+        blacklist.seed_from_images([crawled(i) for i in known])
+
+        # Future crawl: one pack recycling known images, one fresh pack.
+        recycled_pack = Pack(pack_id=1, model_id=1, images=known)
+        fresh_pack = Pack(pack_id=2, model_id=2, images=fresh)
+        future = CrawlResult(
+            preview_images=[],
+            pack_images=[crawled(i, pack_id=1) for i in known]
+            + [crawled(i, pack_id=2) for i in fresh],
+            packs=[recycled_pack, fresh_pack],
+            stats=CrawlStats(),
+        )
+        outcome = blacklist.evaluate_on_future_crawl(future)
+        assert outcome.n_images_blocked == 6
+        assert outcome.n_packs_disrupted == 1
+        assert outcome.block_rate == pytest.approx(0.5)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            BlacklistIntervention(radius=70)
+
+
+def make_earnings(actor_totals):
+    """EarningsResult stub: actor -> list of proof totals (USD)."""
+    records = []
+    image_id = 0
+    for actor_id, totals in actor_totals.items():
+        for i, total in enumerate(totals):
+            records.append(
+                ProofRecord(
+                    image_id=image_id,
+                    digest=str(image_id),
+                    post_id=image_id,
+                    author_id=actor_id,
+                    posted_at=T0.replace(month=1 + i % 12),
+                    platform=PaymentPlatform.PAYPAL,
+                    currency=Currency.USD,
+                    n_transactions=1,
+                    shows_transactions=False,
+                    total_usd=total,
+                )
+            )
+            image_id += 1
+    return EarningsResult(
+        n_threads_matched=0, n_posts_with_links=0, n_unique_urls=0,
+        n_downloaded=len(records), n_abuse_matched=0, n_indecent_filtered=0,
+        n_analyzable=len(records), records=records, n_non_proofs=0,
+    )
+
+
+class TestPaymentTakedown:
+    def test_zero_rate_changes_nothing(self):
+        earnings = make_earnings({1: [100.0, 200.0], 2: [50.0]})
+        outcome = payment_account_takedown(earnings, detection_rate=0.0)
+        assert outcome.n_actors_hit == 0
+        assert outcome.income_reduction == 0.0
+
+    def test_full_rate_hits_heavy_earners(self):
+        earnings = make_earnings({1: [5000.0] * 6, 2: [10.0]})
+        outcome = payment_account_takedown(earnings, detection_rate=1.0, seed=4)
+        assert outcome.n_actors_hit >= 1
+        assert outcome.income_after_usd < outcome.income_before_usd
+
+    def test_monotone_in_rate(self):
+        earnings = make_earnings({i: [500.0] * 4 for i in range(30)})
+        mild = payment_account_takedown(earnings, detection_rate=0.2, seed=7)
+        harsh = payment_account_takedown(earnings, detection_rate=0.9, seed=7)
+        assert harsh.income_reduction >= mild.income_reduction
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            payment_account_takedown(make_earnings({}), detection_rate=1.5)
+
+    def test_empty_earnings(self):
+        outcome = payment_account_takedown(make_earnings({}), detection_rate=0.5)
+        assert outcome.n_actors == 0
+
+
+class TestCurrencyRegulation:
+    def test_blocks_agc_to_btc(self, world):
+        table = None  # unused by the heading-based path
+        outcome = regulate_gift_card_exchange(
+            world.dataset, table,
+            headings=["[H] AGC [W] BTC", "[H] PayPal [W] BTC", "[H] AGC [W] PayPal"],
+        )
+        assert outcome.n_blocked == 1
+        assert outcome.agc_to_crypto_blocked == 1
+        assert outcome.blocked_share == pytest.approx(1 / 3)
+
+    def test_world_ce_board(self, world, report):
+        outcome = regulate_gift_card_exchange(world.dataset, report.currency_exchange)
+        assert outcome.n_threads > 0
+        assert 0 <= outcome.blocked_share < 0.6

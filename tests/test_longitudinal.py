@@ -1,0 +1,116 @@
+"""Tests for the longitudinal analysis module."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.longitudinal import (
+    ActivityTimeline,
+    MonthlySeries,
+    activity_timeline,
+    new_actor_series,
+)
+from repro.forum import Actor, Board, Forum, ForumDataset, Post, Thread
+
+
+class TestMonthlySeries:
+    def test_add_and_total(self):
+        series = MonthlySeries("x")
+        series.add(datetime(2015, 3, 10))
+        series.add(datetime(2015, 3, 20))
+        series.add(datetime(2016, 1, 1), amount=3)
+        assert series.counts == {"2015-03": 2, "2016-01": 3}
+        assert series.total == 5
+
+    def test_months_sorted(self):
+        series = MonthlySeries("x")
+        series.add(datetime(2016, 1, 1))
+        series.add(datetime(2014, 6, 1))
+        assert series.months() == ["2014-06", "2016-01"]
+
+    def test_yearly(self):
+        series = MonthlySeries("x")
+        series.add(datetime(2015, 1, 1))
+        series.add(datetime(2015, 12, 1))
+        series.add(datetime(2016, 1, 1))
+        assert series.yearly() == {"2015": 2, "2016": 1}
+
+    def test_peak_month(self):
+        series = MonthlySeries("x")
+        assert series.peak_month() is None
+        series.add(datetime(2015, 1, 1))
+        series.add(datetime(2015, 2, 1), amount=4)
+        assert series.peak_month() == ("2015-02", 4)
+
+    def test_cumulative_monotone(self):
+        series = MonthlySeries("x")
+        for month in (1, 3, 5):
+            series.add(datetime(2015, month, 1), amount=month)
+        cumulative = [count for _, count in series.cumulative()]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == series.total
+
+
+def tiny_dataset():
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "F", has_ewhoring_board=True))
+    ds.add_board(Board(2, 1, "eWhoring", is_ewhoring_board=True))
+    ds.add_actor(Actor(10, 1, "a", datetime(2010, 1, 1)))
+    ds.add_actor(Actor(11, 1, "b", datetime(2012, 1, 1)))
+    t1 = Thread(100, 2, 1, 10, "pack", datetime(2010, 5, 1))
+    t2 = Thread(101, 2, 1, 11, "pack 2", datetime(2014, 5, 1))
+    ds.add_thread(t1)
+    ds.add_thread(t2)
+    ds.add_post(Post(1000, 100, 10, datetime(2010, 5, 1), "x", 0))
+    ds.add_post(Post(1001, 100, 11, datetime(2010, 6, 1), "y", 1))
+    ds.add_post(Post(1002, 101, 11, datetime(2014, 5, 1), "z", 0))
+    return ds
+
+
+class TestActivityTimeline:
+    def test_counts(self):
+        timeline = activity_timeline(tiny_dataset())
+        assert timeline.threads.total == 2
+        assert timeline.posts.total == 3
+        assert timeline.first_post == datetime(2010, 5, 1)
+        assert timeline.last_post == datetime(2014, 5, 1)
+        assert timeline.span_years == pytest.approx(4.0, abs=0.1)
+
+    def test_per_forum_series(self):
+        timeline = activity_timeline(tiny_dataset())
+        assert timeline.per_forum_posts["F"].total == 3
+
+    def test_empty_selection(self):
+        timeline = activity_timeline(tiny_dataset(), selection=[])
+        assert timeline.posts.total == 0
+        assert timeline.first_post is None
+        assert timeline.span_years == 0.0
+
+    def test_growth_ratio_short_series(self):
+        timeline = activity_timeline(tiny_dataset())
+        assert timeline.growth_ratio() == 1.0  # fewer than 6 months of data
+
+    def test_world_timeline(self, world, report):
+        timeline = activity_timeline(world.dataset, report.selection)
+        assert timeline.posts.total == sum(
+            len(world.dataset.posts_in_thread(t.thread_id)) for t in report.selection
+        )
+        assert timeline.span_years > 8.0
+        assert timeline.growth_ratio() > 1.0
+
+
+class TestNewActorSeries:
+    def test_first_appearance_counted_once(self):
+        series = new_actor_series(tiny_dataset())
+        # Actor 10 first appears 2010-05; actor 11 in 2010-06 (reply),
+        # not in 2014 (their later thread).
+        assert series.counts == {"2010-05": 1, "2010-06": 1}
+
+    def test_world_total_equals_actor_count(self, world, report):
+        series = new_actor_series(world.dataset, report.selection)
+        participants = {
+            p.author_id
+            for t in report.selection
+            for p in world.dataset.posts_in_thread(t.thread_id)
+        }
+        assert series.total == len(participants)

@@ -1,0 +1,182 @@
+"""Tests for the synthetic image substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media import (
+    DEFAULT_SIZE,
+    EVASION_TRANSFORMS,
+    ImageKind,
+    ImageLatent,
+    Pack,
+    SyntheticImage,
+    apply_transform,
+    pack_stage_mix,
+    render_latent,
+    sample_latent,
+    skin_tone_for_model,
+    transform_names,
+)
+
+
+def latent_for(kind=ImageKind.MODEL_NUDE, seed=42, **kwargs):
+    defaults = dict(
+        visual_seed=seed,
+        kind=kind,
+        skin_fraction=0.4 if kind.is_model else 0.0,
+        word_count=0 if kind.is_model else 30,
+        model_id=1 if kind.is_model else None,
+    )
+    defaults.update(kwargs)
+    return ImageLatent(**defaults)
+
+
+class TestLatent:
+    def test_validation_skin_fraction(self):
+        with pytest.raises(ValueError):
+            latent_for(skin_fraction=1.5)
+
+    def test_validation_word_count(self):
+        with pytest.raises(ValueError):
+            latent_for(word_count=-1)
+
+    def test_validation_size(self):
+        with pytest.raises(ValueError):
+            latent_for(size=4)
+
+    def test_with_transform_appends(self):
+        lat = latent_for().with_transform("mirror").with_transform("watermark")
+        assert lat.transform_chain == ("mirror", "watermark")
+
+    def test_kind_flags(self):
+        assert ImageKind.MODEL_SEXUAL.is_nude
+        assert not ImageKind.MODEL_DRESSED.is_nude
+        assert ImageKind.PROOF_SCREENSHOT.is_screenshot
+        assert ImageKind.MODEL_DRESSED.is_model
+        assert not ImageKind.LANDSCAPE.is_model
+
+    def test_sample_latent_respects_kind(self, rng):
+        lat = sample_latent(rng, ImageKind.PROOF_SCREENSHOT)
+        assert lat.word_count >= 25
+        assert lat.skin_fraction == 0.0
+
+
+class TestRendering:
+    def test_deterministic(self):
+        a = render_latent(latent_for())
+        b = render_latent(latent_for())
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = render_latent(latent_for(seed=1))
+        b = render_latent(latent_for(seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_shape_and_range(self):
+        pixels = render_latent(latent_for())
+        assert pixels.shape == (DEFAULT_SIZE, DEFAULT_SIZE, 3)
+        assert pixels.min() >= 0.0 and pixels.max() <= 1.0
+
+    def test_float32_output(self):
+        assert render_latent(latent_for()).dtype == np.float32
+
+    def test_transform_chain_applied(self):
+        base = render_latent(latent_for())
+        mirrored = render_latent(latent_for().with_transform("mirror"))
+        assert np.allclose(mirrored, base[:, ::-1, :], atol=1e-6)
+
+    def test_model_tone_consistency(self):
+        tone_a = skin_tone_for_model(7)
+        tone_b = skin_tone_for_model(7)
+        assert np.array_equal(tone_a, tone_b)
+        assert not np.array_equal(tone_a, skin_tone_for_model(8))
+
+    @given(st.sampled_from(list(ImageKind)), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_any_kind_renders_in_range(self, kind, seed):
+        rng = np.random.default_rng(seed)
+        lat = sample_latent(rng, kind, model_id=1 if kind.is_model else None)
+        pixels = render_latent(lat)
+        assert pixels.min() >= 0.0 and pixels.max() <= 1.0
+
+
+class TestSyntheticImage:
+    def test_lazy_and_cached(self):
+        image = SyntheticImage(1, latent_for())
+        first = image.pixels
+        assert image.pixels is first  # cached
+
+    def test_drop_pixels(self):
+        image = SyntheticImage(1, latent_for())
+        _ = image.pixels
+        image.drop_pixels()
+        assert image._pixels is None
+
+
+class TestTransforms:
+    def test_registry_contains_all(self):
+        names = transform_names()
+        for name in ("mirror", "watermark", "shadow", "recompress",
+                     "crop_border", "resize_small"):
+            assert name in names
+
+    def test_unknown_transform_raises(self):
+        with pytest.raises(KeyError):
+            apply_transform("nope", np.zeros((8, 8, 3)))
+
+    def test_transforms_preserve_shape_and_range(self):
+        pixels = render_latent(latent_for())
+        for name in transform_names():
+            out = apply_transform(name, pixels, seed=1)
+            assert out.shape == pixels.shape
+            assert out.min() >= 0.0 and out.max() <= 1.0 + 1e-9
+
+    def test_mirror_involution(self):
+        pixels = render_latent(latent_for())
+        assert np.allclose(apply_transform("mirror", apply_transform("mirror", pixels)), pixels)
+
+    def test_transforms_do_not_mutate_input(self):
+        pixels = render_latent(latent_for())
+        copy = pixels.copy()
+        for name in transform_names():
+            apply_transform(name, pixels, seed=2)
+        assert np.array_equal(pixels, copy)
+
+    def test_evasion_transforms_registered(self):
+        for name in EVASION_TRANSFORMS:
+            assert name in transform_names()
+
+
+class TestPack:
+    def make_pack(self, n=10):
+        images = [SyntheticImage(i, latent_for(seed=i)) for i in range(n)]
+        return Pack(pack_id=1, model_id=3, images=images)
+
+    def test_requires_images(self):
+        with pytest.raises(ValueError):
+            Pack(pack_id=1, model_id=1, images=[])
+
+    def test_len_and_iter(self):
+        pack = self.make_pack(5)
+        assert len(pack) == 5
+        assert len(list(pack)) == 5
+
+    def test_stage_mix_total(self):
+        for n in (1, 3, 10, 89):
+            assert len(pack_stage_mix(n)) == n
+
+    def test_stage_mix_composition(self):
+        kinds = pack_stage_mix(100)
+        dressed = kinds.count(ImageKind.MODEL_DRESSED)
+        sexual = kinds.count(ImageKind.MODEL_SEXUAL)
+        assert dressed > sexual  # dressed images dominate (§4)
+
+    def test_stage_mix_invalid(self):
+        with pytest.raises(ValueError):
+            pack_stage_mix(0)
+
+    def test_stage_counts(self):
+        pack = self.make_pack(4)
+        counts = pack.stage_counts()
+        assert sum(counts.values()) == 4

@@ -1,0 +1,132 @@
+"""Tests for the §4.1 forum-text normalisation extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text import (
+    collapse_stretches,
+    deleet,
+    normalize_forum_text,
+    strip_markup,
+)
+from repro.synth.templates import corrupt_heading
+
+
+class TestDeleet:
+    @pytest.mark.parametrize("raw,expected", [
+        ("p4ck", "pack"),
+        ("uns4tur4ted", "unsaturated"),
+        ("s3lling", "selling"),
+        ("pic5", "pics"),
+        ("fr33", "free"),
+        ("gu1de", "guide"),
+    ])
+    def test_common_leet(self, raw, expected):
+        assert deleet(raw) == expected
+
+    def test_pure_numbers_untouched(self):
+        assert deleet("50 pics for $20") == "50 pics for $20"
+
+    def test_plain_text_untouched(self):
+        text = "Selling fresh pack, previews inside"
+        assert deleet(text) == text
+
+    def test_punctuation_preserved(self):
+        assert deleet("(p4ck!)") == "(pack!)"
+
+    def test_mixed_sentence(self):
+        assert deleet("new p4ck, 50 pics") == "new pack, 50 pics"
+
+
+class TestCollapse:
+    def test_stretches_collapsed(self):
+        assert collapse_stretches("freeeee") == "free"
+        assert collapse_stretches("sooooo good") == "soo good"
+
+    def test_legit_doubles_survive(self):
+        assert collapse_stretches("account telling") == "account telling"
+
+
+class TestStripMarkup:
+    def test_paired_tags_removed(self):
+        assert strip_markup("[b]pack[/b]") == "pack"
+        assert strip_markup("[url=http://x]link[/url]") == "link"
+
+    def test_marker_brackets_survive(self):
+        # Table 2 matches '[TUT]' and '[question]' literally.
+        assert "[TUT]" in strip_markup("[TUT] my guide")
+        assert "[question]" in strip_markup("[question] help")
+
+
+class TestNormalize:
+    def test_full_pipeline(self):
+        raw = "[b]uns4tur4ted[/b]   p4ck   freeee"
+        assert normalize_forum_text(raw) == "unsaturated pack free"
+
+    def test_idempotent(self):
+        raw = "uns4tur4ted p4ck freeee [b]x[/b]"
+        once = normalize_forum_text(raw)
+        assert normalize_forum_text(once) == once
+
+    @given(st.text(max_size=150))
+    @settings(max_examples=80)
+    def test_total_function(self, text):
+        out = normalize_forum_text(text)
+        assert isinstance(out, str)
+
+    def test_roundtrip_with_corruption(self, rng):
+        """The normaliser undoes the generator's corruption for keyword
+        purposes: the pack keywords become findable again."""
+        from repro.core import STRONG_PACK_KEYWORDS
+
+        recovered = 0
+        total = 0
+        for _ in range(50):
+            heading = "Unsaturated pack of Amber (50 pictures)"
+            corrupted = corrupt_heading(rng, heading)
+            if STRONG_PACK_KEYWORDS.matches(corrupted):
+                continue  # corruption left the keywords intact
+            total += 1
+            if STRONG_PACK_KEYWORDS.matches(normalize_forum_text(corrupted)):
+                recovered += 1
+        if total:
+            assert recovered / total > 0.8
+
+
+class TestCorruptHeading:
+    def test_deterministic_given_rng_state(self):
+        a = corrupt_heading(np.random.default_rng(5), "pack of pics")
+        b = corrupt_heading(np.random.default_rng(5), "pack of pics")
+        assert a == b
+
+    def test_changes_text_usually(self, rng):
+        changed = sum(
+            1 for _ in range(30)
+            if corrupt_heading(rng, "selling unsaturated pack") != "selling unsaturated pack"
+        )
+        assert changed > 20
+
+    def test_length_close(self, rng):
+        heading = "selling unsaturated pack"
+        out = corrupt_heading(rng, heading)
+        assert len(heading) <= len(out) <= len(heading) + 2
+
+
+class TestClassifierIntegration:
+    def test_normalized_heuristic_recovers_leet(self):
+        from datetime import datetime
+
+        from repro.core import HeuristicTopClassifier
+        from repro.forum import Thread
+
+        thread = Thread(1, 1, 1, 1, "uns4tur4ted p4ck of Amber", datetime(2015, 1, 1))
+        assert not HeuristicTopClassifier().is_top(thread)
+        assert HeuristicTopClassifier(normalize=True).is_top(thread)
+
+    def test_with_normalization_constructor(self):
+        from repro.core import HybridTopClassifier
+
+        classifier = HybridTopClassifier.with_normalization()
+        assert classifier.heuristics.normalize
+        assert classifier.extractor.normalize

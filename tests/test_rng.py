@@ -1,0 +1,68 @@
+"""Tests for the seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._rng import SeedSequenceTree, derive_seed, rng_from
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_root_seed_matters(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_matters(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_path_depth_matters(self):
+        assert derive_seed(7, "a") != derive_seed(7, "a", "a")
+
+    def test_path_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must differ — the separator byte matters.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_returns_unsigned_64bit(self):
+        value = derive_seed(123, "x")
+        assert 0 <= value < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_always_valid_seed(self, root, label):
+        value = derive_seed(root, label)
+        np.random.default_rng(value)  # must not raise
+
+
+class TestRngFrom:
+    def test_same_stream_same_values(self):
+        a = rng_from(5, "stream")
+        b = rng_from(5, "stream")
+        assert a.random() == b.random()
+
+    def test_different_streams_diverge(self):
+        a = rng_from(5, "one")
+        b = rng_from(5, "two")
+        draws_a = [a.random() for _ in range(4)]
+        draws_b = [b.random() for _ in range(4)]
+        assert draws_a != draws_b
+
+
+class TestSeedSequenceTree:
+    def test_child_equivalent_to_path(self):
+        tree = SeedSequenceTree(42)
+        direct = tree.rng("forums", "hackforums").random()
+        via_child = tree.child("forums").rng("hackforums").random()
+        assert direct == via_child
+
+    def test_seed_matches_rng_derivation(self):
+        tree = SeedSequenceTree(42)
+        assert tree.seed("x") == derive_seed(42, "x")
+
+    def test_prefix_isolation(self):
+        tree_a = SeedSequenceTree(42, "a")
+        tree_b = SeedSequenceTree(42, "b")
+        assert tree_a.rng("x").random() != tree_b.rng("x").random()

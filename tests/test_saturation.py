@@ -1,0 +1,104 @@
+"""Tests for the pack-saturation analysis."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.saturation import analyze_saturation, reuse_distribution
+from repro.media import ImageKind, Pack, SyntheticImage, sample_latent
+from repro.web import LinkRecord, Url
+from repro.web.crawler import CrawlResult, CrawlStats, CrawledImage, content_digest
+
+T0 = datetime(2015, 1, 1)
+
+
+def crawled(image, pack_id, when=T0):
+    return CrawledImage(
+        image=image,
+        digest=content_digest(image),
+        link=LinkRecord(url=Url("mediafire.com", f"/{pack_id}"), posted_at=when),
+        pack_id=pack_id,
+    )
+
+
+@pytest.fixture()
+def reuse_setting(rng):
+    """Three packs: pack 2 reuses half of pack 1; pack 3 is fresh."""
+    shared = [SyntheticImage(i, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1))
+              for i in range(4)]
+    fresh2 = [SyntheticImage(10 + i, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1))
+              for i in range(2)]
+    fresh3 = [SyntheticImage(20 + i, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=2))
+              for i in range(3)]
+    images = (
+        [crawled(i, 1, T0) for i in shared]
+        + [crawled(i, 2, T0 + timedelta(days=30)) for i in shared[:2] + fresh2]
+        + [crawled(i, 3, T0 + timedelta(days=60)) for i in fresh3]
+    )
+    packs = [
+        Pack(pack_id=1, model_id=1, images=shared),
+        Pack(pack_id=2, model_id=1, images=shared[:2] + fresh2),
+        Pack(pack_id=3, model_id=2, images=fresh3),
+    ]
+    return CrawlResult(preview_images=[], pack_images=images, packs=packs,
+                       stats=CrawlStats())
+
+
+class TestReuseDistribution:
+    def test_counts_distinct_packs(self, reuse_setting):
+        distribution = reuse_distribution(reuse_setting.pack_images)
+        counts = sorted(distribution.values())
+        # 2 shared images in 2 packs; the rest in 1 pack each.
+        assert counts == [1, 1, 1, 1, 1, 1, 1, 2, 2]
+
+    def test_same_pack_repeat_not_double_counted(self, rng):
+        image = SyntheticImage(1, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1))
+        images = [crawled(image, 1), crawled(image, 1)]
+        assert reuse_distribution(images) == {content_digest(image): 1}
+
+
+class TestSaturation:
+    def test_per_pack_chronology(self, reuse_setting):
+        report = analyze_saturation(reuse_setting)
+        by_id = {p.pack_id: p for p in report.per_pack}
+        assert by_id[1].n_previously_seen == 0
+        assert by_id[2].n_previously_seen == 2
+        assert by_id[2].saturation_index == pytest.approx(0.5)
+        assert by_id[3].n_previously_seen == 0
+
+    def test_fresh_and_saturated_lists(self, reuse_setting):
+        report = analyze_saturation(reuse_setting)
+        assert set(report.fully_fresh_packs()) == {1, 3}
+        assert report.saturated_packs(threshold=0.5) == [2]
+
+    def test_images_in_at_least(self, reuse_setting):
+        report = analyze_saturation(reuse_setting)
+        assert report.images_in_at_least(2) == 2
+        assert report.images_in_at_least(1) == report.n_unique_images
+        assert report.images_in_at_least(5) == 0
+
+    def test_reuse_histogram_totals(self, reuse_setting):
+        report = analyze_saturation(reuse_setting)
+        histogram = report.reuse_histogram()
+        assert sum(histogram.values()) == report.n_unique_images
+
+    def test_empty_crawl(self):
+        report = analyze_saturation(
+            CrawlResult(preview_images=[], pack_images=[], packs=[], stats=CrawlStats())
+        )
+        assert report.n_unique_images == 0
+        assert report.mean_saturation() == 0.0
+
+    def test_world_saturation(self, report):
+        """§4.2: free packs are saturated — reuse must be present."""
+        from repro.core.saturation import analyze_saturation as analyze
+
+        saturation = analyze(report.crawl)
+        if len(report.crawl.packs) < 5:
+            pytest.skip("too few packs at this scale")
+        assert saturation.images_in_at_least(2) > 0
+        assert 0.0 < saturation.mean_saturation() < 1.0
+        assert saturation.n_unique_images == report.crawl.n_unique_files - len(
+            {c.digest for c in report.crawl.preview_images}
+            - {c.digest for c in report.crawl.pack_images}
+        )

@@ -1,0 +1,102 @@
+"""Tests for actor-profile sampling and its Table 8 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    Archetype,
+    sample_ewhoring_post_count,
+    sample_profile,
+)
+from repro.synth.profiles import INTEREST_CATEGORIES, POST_COUNT_ANCHORS
+
+
+class TestPostCountCurve:
+    def test_anchors_are_decreasing(self):
+        survivals = [s for _, s in POST_COUNT_ANCHORS]
+        assert survivals == sorted(survivals, reverse=True)
+
+    def test_minimum_is_one(self, rng):
+        counts = [sample_ewhoring_post_count(rng) for _ in range(2000)]
+        assert min(counts) >= 1
+
+    def test_band_fractions_match_table8(self, rng):
+        n = 40_000
+        counts = np.array([sample_ewhoring_post_count(rng) for _ in range(n)])
+        # Expected fractions from Table 8 at full scale.
+        expectations = {10: 13014 / 72982, 50: 2146 / 72982, 200: 263 / 72982}
+        for threshold, expected in expectations.items():
+            observed = float(np.mean(counts >= threshold))
+            assert observed == pytest.approx(expected, rel=0.25), threshold
+
+    def test_heavy_tail_exists(self, rng):
+        counts = [sample_ewhoring_post_count(rng) for _ in range(40_000)]
+        assert max(counts) > 400
+
+    def test_cap_respected(self, rng):
+        counts = [sample_ewhoring_post_count(rng) for _ in range(40_000)]
+        assert max(counts) <= 2800
+
+
+class TestArchetype:
+    @pytest.mark.parametrize("posts,expected", [
+        (1, Archetype.LURKER),
+        (9, Archetype.LURKER),
+        (10, Archetype.CASUAL),
+        (49, Archetype.CASUAL),
+        (50, Archetype.ACTIVE),
+        (199, Archetype.ACTIVE),
+        (200, Archetype.HEAVY),
+        (999, Archetype.HEAVY),
+        (1000, Archetype.ELITE),
+    ])
+    def test_band_edges(self, posts, expected):
+        assert Archetype.for_post_count(posts) is expected
+
+
+class TestProfiles:
+    def test_interests_normalised(self, rng):
+        profile = sample_profile(rng)
+        for phase in ("before", "during", "after"):
+            weights = profile.interests[phase]
+            assert len(weights) == len(INTEREST_CATEGORIES)
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_market_interest_rises(self, rng):
+        # Figure 5: the Market share grows from before to during on average.
+        market = INTEREST_CATEGORIES.index("Market")
+        befores, durings = [], []
+        for _ in range(300):
+            profile = sample_profile(rng)
+            befores.append(profile.interests["before"][market])
+            durings.append(profile.interests["during"][market])
+        assert np.mean(durings) > np.mean(befores) + 0.1
+
+    def test_pack_counts_only_for_sharers(self, rng):
+        for _ in range(200):
+            profile = sample_profile(rng)
+            if profile.shares_packs:
+                assert profile.n_packs_shared >= 1
+            else:
+                assert profile.n_packs_shared == 0
+
+    def test_ce_threads_only_for_ce_users(self, rng):
+        for _ in range(200):
+            profile = sample_profile(rng)
+            if profile.uses_currency_exchange:
+                assert profile.n_ce_threads >= 1
+            else:
+                assert profile.n_ce_threads == 0
+
+    def test_other_posts_nonnegative(self, rng):
+        for _ in range(200):
+            assert sample_profile(rng).other_posts >= 0
+
+    def test_heavier_actors_share_more(self, rng):
+        # Behaviour rates rise with the archetype: measure empirically.
+        shares = {Archetype.LURKER: [], Archetype.ACTIVE: []}
+        for _ in range(4000):
+            profile = sample_profile(rng)
+            if profile.archetype in shares:
+                shares[profile.archetype].append(profile.shares_packs)
+        assert np.mean(shares[Archetype.ACTIVE]) > np.mean(shares[Archetype.LURKER])
