@@ -1,0 +1,93 @@
+"""R1 — robustness study: the crawl funnel under transient faults.
+
+The original crawl (§4.2) ran against a live, unreliable web; the
+paper reports only the surviving funnel.  This study measures how much
+of the funnel a *non*-retrying crawler would lose under each transient
+fault profile, and how much a retrying crawler (exponential backoff +
+full jitter, per-domain circuit breakers) claws back.
+
+The ISSUE acceptance bar is checked here too: under the ``flaky``
+profile the retrying crawler must recover at least 90% of the links a
+zero-fault crawl fetches.
+"""
+
+from repro.web import Crawler, FaultInjector, RetryPolicy, fault_profile
+
+from _common import scale_note
+
+PROFILES = ("none", "flaky", "hostile", "rate_limited")
+FAULT_SEED = 17
+
+
+def _crawl(world, links, profile, retrying):
+    internet = world.internet
+    if profile == "none":
+        internet.set_fault_injector(None)
+    else:
+        internet.set_fault_injector(
+            FaultInjector(fault_profile(profile), seed=FAULT_SEED)
+        )
+    try:
+        if retrying:
+            crawler = Crawler(internet, retry_policy=RetryPolicy(max_attempts=4))
+        else:
+            crawler = Crawler(internet, retry_policy=RetryPolicy(max_attempts=1))
+        return crawler.crawl(links)
+    finally:
+        internet.set_fault_injector(None)
+
+
+def test_r1(bench_world, bench_report, benchmark, emit):
+    links = bench_report.links.all_links
+
+    baseline = _crawl(bench_world, links, "none", retrying=True)
+    base_ok = baseline.stats.n_ok
+
+    rows = []
+    flaky_retry = None
+    for profile in PROFILES:
+        naive = _crawl(bench_world, links, profile, retrying=False)
+        retry = _crawl(bench_world, links, profile, retrying=True)
+        if profile == "flaky":
+            flaky_retry = retry
+        rows.append((profile, naive.stats, retry.stats))
+
+    benchmark.pedantic(
+        lambda: _crawl(bench_world, links, "flaky", retrying=True),
+        rounds=2,
+        iterations=1,
+    )
+
+    def pct(n):
+        return f"{n / max(base_ok, 1):6.1%}"
+
+    lines = [
+        "R1 — crawl resilience under transient faults " + scale_note(),
+        f"links crawled: {len(links)}; zero-fault OK fetches: {base_ok}",
+        "",
+        f"{'profile':<14}{'naive OK':>9}{'recov.':>8}"
+        f"{'retry OK':>9}{'recov.':>8}{'retries':>9}{'giveups':>9}{'trips':>7}",
+    ]
+    for profile, naive, retry in rows:
+        lines.append(
+            f"{profile:<14}{naive.n_ok:>9}{pct(naive.n_ok):>8}"
+            f"{retry.n_ok:>9}{pct(retry.n_ok):>8}"
+            f"{retry.n_retries:>9}{retry.n_giveups:>9}{retry.n_breaker_skips:>7}"
+        )
+    lines += [
+        "",
+        "naive = single attempt, no retries; retry = 4 attempts with",
+        "exponential backoff + full jitter and per-domain circuit breakers.",
+        "recov. = OK fetches relative to the zero-fault baseline.",
+    ]
+    emit("r1_crawl_resilience", "\n".join(lines))
+
+    # Acceptance: flaky + retries recovers >= 90% of zero-fault links.
+    assert flaky_retry is not None
+    assert flaky_retry.stats.n_ok >= 0.9 * base_ok
+    # Retrying never does worse than the naive crawler on any profile.
+    for _, naive, retry in rows:
+        assert retry.n_ok >= naive.n_ok
+    # The zero-fault funnel is unchanged by the fault machinery.
+    assert baseline.stats.n_retries == 0
+    assert baseline.digest() == Crawler(bench_world.internet).crawl(links).digest()

@@ -62,6 +62,9 @@ def run_pipeline(
     world: World,
     annotate_n: int = 1000,
     seed: Optional[int] = None,
+    strict: bool = True,
+    checkpoint=None,
+    stage_hooks=None,
 ) -> PipelineReport:
     """Run the full measurement over a world using its ground-truth oracles.
 
@@ -69,6 +72,10 @@ def run_pipeline(
     classifier training (§4.1) and proof-of-earnings annotation (§5.1).
     The key-actor group size (50 in the paper) shrinks with the world's
     scale so the groups keep the paper's selectivity.
+
+    ``strict=False`` degrades gracefully on stage failures instead of
+    aborting; ``checkpoint`` (a path or ``CrawlCheckpoint``) makes the
+    §4.2 crawl resumable; ``stage_hooks`` force stage failures in tests.
     """
     import math
 
@@ -80,4 +87,7 @@ def run_pipeline(
         proof_oracle=truth.proof_truth.get,
         annotate_n=annotate_n,
         key_actor_top_n=top_n,
+        strict=strict,
+        checkpoint=checkpoint,
+        stage_hooks=stage_hooks,
     )

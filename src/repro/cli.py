@@ -11,6 +11,8 @@ Three subcommands:
 Examples::
 
     repro run --seed 7 --scale 0.02
+    repro run --fault-profile flaky --resume          # unreliable network, resumable crawl
+    repro run --fault-profile hostile --lenient       # degrade instead of aborting
     repro build --seed 11 --scale 0.05 --out world.jsonl
     repro tables --seed 11 --scale 0.05 --out results/
 """
@@ -24,6 +26,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from . import build_world, run_pipeline
+from .web.faults import FAULT_PROFILES
 from .core.report_text import (
     render_digest,
     render_earnings,
@@ -61,6 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annotation sample size (default 1000)")
     p_run.add_argument("--out", type=Path, default=None,
                        help="also write table files into this directory")
+    p_run.add_argument(
+        "--fault-profile", choices=sorted(FAULT_PROFILES), default=None,
+        help="inject transient fetch faults (timeouts/rate limits/5xx) "
+             "from this named profile",
+    )
+    p_run.add_argument(
+        "--resume", type=Path, nargs="?", const=Path("crawl.checkpoint.json"),
+        default=None, metavar="CHECKPOINT",
+        help="checkpoint the crawl to this file and resume from it if it "
+             "exists (default path: crawl.checkpoint.json)",
+    )
+    p_run.add_argument(
+        "--lenient", action="store_true",
+        help="degrade gracefully on stage failures (strict=False) instead "
+             "of aborting the measurement",
+    )
 
     p_tables = sub.add_parser("tables", help="run the measurement and write table files")
     add_world_args(p_tables)
@@ -88,12 +107,50 @@ def _write_tables(report, out_dir: Path) -> list:
     return written
 
 
+def _resilience_summary(report) -> str:
+    """Retry/breaker/degradation summary lines for the ``run`` command."""
+    lines = ["-- crawl resilience --"]
+    if report.crawl is not None:
+        stats = report.crawl.stats
+        lines.append(
+            f"retries: {stats.n_retries}  giveups: {stats.n_giveups}  "
+            f"breaker skips: {stats.n_breaker_skips}  "
+            f"transient faults: {stats.n_transient_faults}"
+        )
+        if report.crawl.attempt_logs:
+            lines.append(f"links that needed the retry machinery: "
+                         f"{len(report.crawl.attempt_logs)}")
+    else:
+        lines.append("crawl unavailable (stage failed or skipped)")
+    lines.append("-- stage boundaries --")
+    if not report.stage_outcomes:
+        lines.append("no stage records")
+    elif not report.degraded:
+        lines.append(f"all {len(report.stage_outcomes)} stages completed")
+    else:
+        for outcome in report.stage_outcomes:
+            if outcome.status == "failed" and outcome.failure is not None:
+                lines.append(f"FAILED  {outcome.failure.summary()}")
+            elif outcome.status == "skipped":
+                lines.append(
+                    f"skipped {outcome.stage} (requires {outcome.skipped_due_to})"
+                )
+            else:
+                lines.append(f"ok      {outcome.stage} [{outcome.elapsed:.2f}s]")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
-    print(f"building world (seed={args.seed}, scale={args.scale}) ...", file=sys.stderr)
+    fault_profile = getattr(args, "fault_profile", None)
+    profile_note = f", fault_profile={fault_profile}" if fault_profile else ""
+    print(
+        f"building world (seed={args.seed}, scale={args.scale}{profile_note}) ...",
+        file=sys.stderr,
+    )
     start = time.time()
-    world = build_world(seed=args.seed, scale=args.scale)
+    world = build_world(seed=args.seed, scale=args.scale, fault_profile=fault_profile)
     print(f"  {world.dataset} [{time.time() - start:.1f}s]", file=sys.stderr)
 
     if args.command == "build":
@@ -103,12 +160,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("running pipeline ...", file=sys.stderr)
     start = time.time()
-    report = run_pipeline(world, annotate_n=args.annotate)
+    report = run_pipeline(
+        world,
+        annotate_n=args.annotate,
+        strict=not getattr(args, "lenient", False),
+        checkpoint=getattr(args, "resume", None),
+    )
     print(f"  done [{time.time() - start:.1f}s]", file=sys.stderr)
 
     if args.command == "run":
-        print(render_digest(report))
-        if args.out is not None:
+        if report.degraded:
+            print("measurement DEGRADED: some sections unavailable", file=sys.stderr)
+        else:
+            print(render_digest(report))
+        print(_resilience_summary(report))
+        if args.out is not None and not report.degraded:
             for path in _write_tables(report, args.out):
                 print(f"wrote {path}", file=sys.stderr)
         return 0

@@ -69,6 +69,7 @@ from .provenance import (
     QueryOutcome,
     ReverseSearchSummary,
 )
+from .stage_runner import StageFailure, StageOutcome, StageRunner
 from .top_classifier import ExtractionStats, HybridTopClassifier, TopEvaluation
 from .url_extraction import LinkExtraction, WhitelistBuilder, extract_links
 
@@ -110,6 +111,9 @@ __all__ = [
     "REQUEST_KEYWORDS",
     "ReverseSearchSummary",
     "STRONG_PACK_KEYWORDS",
+    "StageFailure",
+    "StageOutcome",
+    "StageRunner",
     "TABLE2_LEXICONS",
     "TRADE_KEYWORDS",
     "TUTORIAL_KEYWORDS",

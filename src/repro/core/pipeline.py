@@ -13,12 +13,22 @@
 
 plus the §5 earnings pipeline and the §6 actor analysis, so a single
 :meth:`run` produces every quantity the paper's tables and figures need.
+
+Every stage executes inside a recorded error boundary (see
+:mod:`repro.core.stage_runner`).  With ``strict=True`` (default)
+failures propagate exactly as before; with ``strict=False`` the
+pipeline *degrades gracefully*: a failed stage yields a
+:class:`PipelineReport` whose corresponding section is ``None``, a
+structured :class:`~repro.core.stage_runner.StageFailure` is recorded,
+and dependent stages are skipped while independent ones (e.g. the §5
+earnings analysis after a crawl failure) still run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -31,9 +41,12 @@ from ..synth.earnings_gen import ProofPlan
 from ..vision.photodna import HashListService
 from ..vision.reverse_search import ReverseImageIndex
 from ..web.archive import WaybackArchive
+from ..web.checkpoint import CrawlCheckpoint
 from ..web.crawler import CrawlResult, CrawledImage, Crawler
 from ..web.internet import SimulatedInternet
+from ..web.retry import RetryPolicy
 from .abuse_filter import AbuseFilter, AbuseFilterResult
+from .stage_runner import StageFailure, StageOutcome, StageRunner
 from .actors import (
     ActorAnalyzer,
     CohortRow,
@@ -64,48 +77,71 @@ ProofOracleFn = Callable[[int], Optional[ProofPlan]]
 
 @dataclass
 class PipelineReport:
-    """Everything one pipeline run measured."""
+    """Everything one pipeline run measured.
+
+    Under ``strict=False`` any section downstream of a failed stage may
+    be ``None`` (marked unavailable); inspect :attr:`stage_failures` /
+    :attr:`stage_outcomes` for the structured failure records.
+    """
 
     # Stage 0: dataset selection (§3, Table 1).
     selection: List[Thread]
     forum_summaries: List[ForumSummary]
 
     # Stage 1: TOP extraction (§4.1).
-    top_evaluation: TopEvaluation
-    extraction_stats: ExtractionStats
-    tops: List[Thread]
-    tops_per_forum: Dict[str, int]
-    n_annotated: int
-    n_annotated_tops: int
+    top_evaluation: Optional[TopEvaluation] = None
+    extraction_stats: Optional[ExtractionStats] = None
+    tops: Optional[List[Thread]] = None
+    tops_per_forum: Optional[Dict[str, int]] = None
+    n_annotated: Optional[int] = None
+    n_annotated_tops: Optional[int] = None
 
     # Stage 2: URLs and crawling (§4.2).
-    links: LinkExtraction
-    crawl: CrawlResult
+    links: Optional[LinkExtraction] = None
+    crawl: Optional[CrawlResult] = None
 
     # Stage 3: abuse filtering (§4.3).
-    abuse: AbuseFilterResult
+    abuse: Optional[AbuseFilterResult] = None
 
     # Stage 4: NSFV classification (§4.4).
-    preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]]
-    n_nsfv_previews: int
+    preview_verdicts: Optional[List[Tuple[CrawledImage, NsfvVerdict]]] = None
+    n_nsfv_previews: Optional[int] = None
 
     # Stage 5: provenance (§4.5).
-    provenance: ProvenanceResult
+    provenance: Optional[ProvenanceResult] = None
 
     # §5: profits.
-    earnings: EarningsResult
-    currency_exchange: CurrencyExchangeTable
+    earnings: Optional[EarningsResult] = None
+    currency_exchange: Optional[CurrencyExchangeTable] = None
 
     # §6: actors.
-    actor_analyzer: ActorAnalyzer
-    cohorts: List[CohortRow]
-    key_actors: KeyActorSelection
-    interests: InterestEvolution
+    actor_analyzer: Optional[ActorAnalyzer] = None
+    cohorts: Optional[List[CohortRow]] = None
+    key_actors: Optional[KeyActorSelection] = None
+    interests: Optional[InterestEvolution] = None
+
+    # Stage boundaries (robustness layer).
+    stage_outcomes: List[StageOutcome] = field(default_factory=list)
+    stage_failures: List[StageFailure] = field(default_factory=list)
 
     @property
     def nsfv_previews(self) -> List[CrawledImage]:
         """Previews classified Not-Safe-For-Viewing (model images)."""
+        if self.preview_verdicts is None:
+            return []
         return [c for c, v in self.preview_verdicts if v.nsfv]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage failed or was skipped."""
+        return any(o.status != "ok" for o in self.stage_outcomes)
+
+    def stage_failure(self, stage: str) -> Optional[StageFailure]:
+        """The failure record for ``stage``, or ``None``."""
+        for failure in self.stage_failures:
+            if failure.stage == stage:
+                return failure
+        return None
 
 
 class EwhoringPipeline:
@@ -121,6 +157,7 @@ class EwhoringPipeline:
         category_lookup: Optional[Callable[[str], Optional[str]]] = None,
         classifiers: Optional[Sequence[DomainClassifier]] = None,
         nsfv: Optional[NsfvClassifier] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
     ):
         self.dataset = dataset
@@ -128,6 +165,7 @@ class EwhoringPipeline:
         self.reverse_index = reverse_index
         self.hashlist = hashlist
         self.archive = archive
+        self.retry_policy = retry_policy
         self.category_lookup = category_lookup if category_lookup is not None else (lambda d: None)
         self.classifiers = (
             list(classifiers) if classifiers is not None else list(default_classifiers(seed))
@@ -144,80 +182,169 @@ class EwhoringPipeline:
         train_fraction: float = 0.8,
         min_ce_posts: int = 50,
         key_actor_top_n: int = 50,
+        strict: bool = True,
+        checkpoint: Optional[Union[str, Path, CrawlCheckpoint]] = None,
+        stage_hooks: Optional[Mapping[str, Callable[[], None]]] = None,
     ) -> PipelineReport:
-        """Execute the full measurement and return the report."""
+        """Execute the full measurement and return the report.
+
+        ``strict=False`` degrades gracefully on stage failures instead of
+        aborting (see :class:`PipelineReport`); ``checkpoint`` makes the
+        §4.2 crawl resumable; ``stage_hooks`` maps stage names to
+        callables invoked at the top of the stage boundary (tests and
+        benchmarks use this to force failures).
+        """
+        runner = StageRunner(strict=strict, hooks=stage_hooks)
         selection = ewhoring_threads(self.dataset)
         summaries = forum_summaries(self.dataset, selection)
 
         # ---- stage 1: TOP extraction --------------------------------
-        classifier, evaluation, n_annotated, n_annotated_tops = self._train_classifier(
-            selection, top_oracle, annotate_n, train_fraction
+        def _stage_top():
+            classifier, evaluation, n_annotated, n_annotated_tops = (
+                self._train_classifier(selection, top_oracle, annotate_n, train_fraction)
+            )
+            tops, stats = classifier.extract_tops(self.dataset, selection)
+            tops_per_forum: Dict[str, int] = {}
+            for thread in tops:
+                name = self.dataset.forum(thread.forum_id).name
+                tops_per_forum[name] = tops_per_forum.get(name, 0) + 1
+            return evaluation, stats, tops, tops_per_forum, n_annotated, n_annotated_tops
+
+        top_out, _ = runner.run(
+            "top_extraction", _stage_top, context={"n_threads": len(selection)}
         )
-        tops, stats = classifier.extract_tops(self.dataset, selection)
-        tops_per_forum: Dict[str, int] = {}
-        for thread in tops:
-            name = self.dataset.forum(thread.forum_id).name
-            tops_per_forum[name] = tops_per_forum.get(name, 0) + 1
+        evaluation = stats = tops = tops_per_forum = None
+        n_annotated = n_annotated_tops = None
+        if top_out is not None:
+            evaluation, stats, tops, tops_per_forum, n_annotated, n_annotated_tops = top_out
 
         # ---- stage 2: URLs + crawl ----------------------------------
-        links = extract_links(self.dataset, tops)
-        crawl = Crawler(self.internet).crawl(links.all_links)
+        def _stage_crawl():
+            links = extract_links(self.dataset, tops)
+            crawler = Crawler(self.internet, retry_policy=self.retry_policy)
+            return links, crawler.crawl(links.all_links, checkpoint=checkpoint)
+
+        crawl_out, _ = runner.run(
+            "url_crawl",
+            _stage_crawl,
+            requires=("top_extraction",),
+            context={"n_tops": len(tops) if tops is not None else 0},
+        )
+        links, crawl = crawl_out if crawl_out is not None else (None, None)
 
         # ---- stage 3: abuse filter ----------------------------------
-        abuse_filter = AbuseFilter(
-            self.hashlist,
-            reverse_index=self.reverse_index,
-            domain_info=self._domain_info,
+        def _stage_abuse():
+            abuse_filter = AbuseFilter(
+                self.hashlist,
+                reverse_index=self.reverse_index,
+                domain_info=self._domain_info,
+            )
+            abuse = abuse_filter.sweep(crawl.all_images, dataset=self.dataset)
+            clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
+            clean_pack_images = [c for c in crawl.pack_images if abuse.is_clean(c)]
+            return abuse, clean_previews, clean_pack_images
+
+        abuse_out, _ = runner.run(
+            "abuse_filter",
+            _stage_abuse,
+            requires=("url_crawl",),
+            context={"n_images": len(crawl.all_images) if crawl is not None else 0},
         )
-        abuse = abuse_filter.sweep(crawl.all_images, dataset=self.dataset)
-        clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
-        clean_pack_images = [c for c in crawl.pack_images if abuse.is_clean(c)]
+        abuse, clean_previews, clean_pack_images = (
+            abuse_out if abuse_out is not None else (None, None, None)
+        )
 
         # ---- stage 4: NSFV classification ---------------------------
-        preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]] = []
-        seen_digests: Dict[str, NsfvVerdict] = {}
-        for crawled in clean_previews:
-            verdict = seen_digests.get(crawled.digest)
-            if verdict is None:
-                verdict = self.nsfv.classify(crawled.image.pixels)
-                seen_digests[crawled.digest] = verdict
-            preview_verdicts.append((crawled, verdict))
-        nsfv_previews = [c for c, v in preview_verdicts if v.nsfv]
+        def _stage_nsfv():
+            preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]] = []
+            seen_digests: Dict[str, NsfvVerdict] = {}
+            for crawled in clean_previews:
+                verdict = seen_digests.get(crawled.digest)
+                if verdict is None:
+                    verdict = self.nsfv.classify(crawled.image.pixels)
+                    seen_digests[crawled.digest] = verdict
+                preview_verdicts.append((crawled, verdict))
+            return preview_verdicts, [c for c, v in preview_verdicts if v.nsfv]
 
-        # ---- stage 5: provenance ------------------------------------
-        provenance = ProvenanceAnalyzer(
-            self.reverse_index,
-            archive=self.archive,
-            classifiers=self.classifiers,
-            category_lookup=self.category_lookup,
-        ).analyze(clean_pack_images, nsfv_previews)
-        self._release_pixels(crawl.all_images)
-
-        # ---- §5: earnings -------------------------------------------
-        earnings = EarningsAnalyzer(
-            self.dataset,
-            self.internet,
-            self.hashlist,
-            annotator=proof_oracle,
-            nsfv=self.nsfv,
-        ).analyze(selection)
-        ce_table = currency_exchange_table(
-            self.dataset, min_ewhoring_posts=min_ce_posts, selection=selection
+        nsfv_out, _ = runner.run(
+            "nsfv",
+            _stage_nsfv,
+            requires=("abuse_filter",),
+            context={"n_previews": len(clean_previews) if clean_previews is not None else 0},
+        )
+        preview_verdicts, nsfv_previews = (
+            nsfv_out if nsfv_out is not None else (None, None)
         )
 
+        # ---- stage 5: provenance ------------------------------------
+        def _stage_provenance():
+            return ProvenanceAnalyzer(
+                self.reverse_index,
+                archive=self.archive,
+                classifiers=self.classifiers,
+                category_lookup=self.category_lookup,
+            ).analyze(clean_pack_images, nsfv_previews)
+
+        provenance, _ = runner.run(
+            "provenance",
+            _stage_provenance,
+            requires=("nsfv",),
+            context={
+                "n_pack_images": len(clean_pack_images) if clean_pack_images is not None else 0,
+                "n_nsfv_previews": len(nsfv_previews) if nsfv_previews is not None else 0,
+            },
+        )
+        if crawl is not None:
+            self._release_pixels(crawl.all_images)
+
+        # ---- §5: earnings (independent of the crawl stages) ---------
+        def _stage_earnings():
+            earnings = EarningsAnalyzer(
+                self.dataset,
+                self.internet,
+                self.hashlist,
+                annotator=proof_oracle,
+                nsfv=self.nsfv,
+            ).analyze(selection)
+            ce_table = currency_exchange_table(
+                self.dataset, min_ewhoring_posts=min_ce_posts, selection=selection
+            )
+            return earnings, ce_table
+
+        earnings_out, _ = runner.run(
+            "earnings", _stage_earnings, context={"n_threads": len(selection)}
+        )
+        earnings, ce_table = earnings_out if earnings_out is not None else (None, None)
+
         # ---- §6: actors ---------------------------------------------
-        analyzer = ActorAnalyzer(self.dataset, selection)
-        packs_per_actor: Dict[int, int] = {}
-        for thread in tops:
-            packs_per_actor[thread.author_id] = packs_per_actor.get(thread.author_id, 0) + 1
-        analyzer.attach_packs(packs_per_actor)
-        analyzer.attach_earnings(earnings.per_actor_totals())
-        analyzer.attach_currency_exchange()
-        metrics = analyzer.metrics()
-        cohorts = cohort_table(metrics)
-        key_actors = select_key_actors(metrics, top_n=key_actor_top_n)
-        interests = interest_evolution(
-            self.dataset, metrics, key_actors.groups.all_key_actors()
+        def _stage_actors():
+            analyzer = ActorAnalyzer(self.dataset, selection)
+            packs_per_actor: Dict[int, int] = {}
+            for thread in tops:
+                packs_per_actor[thread.author_id] = (
+                    packs_per_actor.get(thread.author_id, 0) + 1
+                )
+            analyzer.attach_packs(packs_per_actor)
+            analyzer.attach_earnings(
+                earnings.per_actor_totals() if earnings is not None else {}
+            )
+            analyzer.attach_currency_exchange()
+            metrics = analyzer.metrics()
+            cohorts = cohort_table(metrics)
+            key_actors = select_key_actors(metrics, top_n=key_actor_top_n)
+            interests = interest_evolution(
+                self.dataset, metrics, key_actors.groups.all_key_actors()
+            )
+            return analyzer, cohorts, key_actors, interests
+
+        actors_out, _ = runner.run(
+            "actors",
+            _stage_actors,
+            requires=("top_extraction",),
+            context={"n_actors": len({t.author_id for t in selection})},
+        )
+        analyzer, cohorts, key_actors, interests = (
+            actors_out if actors_out is not None else (None, None, None, None)
         )
 
         return PipelineReport(
@@ -233,7 +360,7 @@ class EwhoringPipeline:
             crawl=crawl,
             abuse=abuse,
             preview_verdicts=preview_verdicts,
-            n_nsfv_previews=len(nsfv_previews),
+            n_nsfv_previews=len(nsfv_previews) if nsfv_previews is not None else None,
             provenance=provenance,
             earnings=earnings,
             currency_exchange=ce_table,
@@ -241,6 +368,8 @@ class EwhoringPipeline:
             cohorts=cohorts,
             key_actors=key_actors,
             interests=interests,
+            stage_outcomes=list(runner.outcomes),
+            stage_failures=list(runner.failures),
         )
 
     # ------------------------------------------------------------------

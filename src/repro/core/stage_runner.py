@@ -1,0 +1,159 @@
+"""Stage-level error boundaries for the measurement pipeline.
+
+:class:`EwhoringPipeline.run` chains many stages; a crash deep in one of
+them used to abort the whole measurement.  :class:`StageRunner` wraps
+each stage in a recorded boundary:
+
+* in **strict** mode (the default) exceptions propagate exactly as
+  before, but the boundary still records which stage blew up and how
+  long it had been running;
+* in **lenient** mode (``strict=False``) a failing stage is converted
+  into a structured :class:`StageFailure` (stage name, exception type
+  and message, traceback, elapsed seconds, and a context dict with the
+  links/images counts the stage had to work on), the report section it
+  would have produced is marked unavailable (``None``), and stages that
+  *depend* on it are recorded as skipped rather than crashing on the
+  missing input.
+
+``hooks`` lets tests and benchmarks force a stage to raise without
+monkeypatching pipeline internals: a hook is called at the top of its
+stage's boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["StageFailure", "StageOutcome", "StageRunner"]
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """Structured record of one stage blowing up."""
+
+    stage: str
+    error_type: str
+    message: str
+    traceback: str
+    elapsed: float
+    #: What the stage had to work on (e.g. ``{"n_links": 412}``).
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        ctx = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+        suffix = f" [{ctx}]" if ctx else ""
+        return (
+            f"{self.stage}: {self.error_type}: {self.message} "
+            f"(after {self.elapsed:.2f}s){suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One stage boundary's verdict."""
+
+    stage: str
+    status: str  # "ok" | "failed" | "skipped"
+    elapsed: float = 0.0
+    failure: Optional[StageFailure] = None
+    #: For skipped stages: the failed/skipped dependency that caused it.
+    skipped_due_to: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class StageRunner:
+    """Runs named stages inside recorded error boundaries."""
+
+    def __init__(
+        self,
+        strict: bool = True,
+        hooks: Optional[Mapping[str, Callable[[], None]]] = None,
+    ):
+        self.strict = strict
+        self.hooks: Dict[str, Callable[[], None]] = dict(hooks or {})
+        self.outcomes: List[StageOutcome] = []
+        self.failures: List[StageFailure] = []
+        self._bad: Dict[str, str] = {}  # stage → root cause
+
+    # ------------------------------------------------------------------
+    def unavailable(self, stage: str) -> bool:
+        """True if ``stage`` failed or was skipped."""
+        return stage in self._bad
+
+    @property
+    def degraded(self) -> bool:
+        """True once any stage failed or was skipped."""
+        return bool(self._bad)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stage: str,
+        fn: Callable[[], Any],
+        requires: Sequence[str] = (),
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[Any, bool]:
+        """Execute ``fn`` inside the boundary for ``stage``.
+
+        Returns ``(value, ok)``; in lenient mode a failed or skipped
+        stage yields ``(None, False)``.  In strict mode failures
+        re-raise after being recorded.
+        """
+        for dep in requires:
+            if dep in self._bad:
+                root = self._bad[dep]
+                self._bad[stage] = root
+                self.outcomes.append(
+                    StageOutcome(stage=stage, status="skipped", skipped_due_to=dep)
+                )
+                return None, False
+
+        start = time.perf_counter()
+        try:
+            hook = self.hooks.get(stage)
+            if hook is not None:
+                hook()
+            value = fn()
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            failure = StageFailure(
+                stage=stage,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=_traceback.format_exc(),
+                elapsed=elapsed,
+                context=dict(context or {}),
+            )
+            self.failures.append(failure)
+            self.outcomes.append(
+                StageOutcome(stage=stage, status="failed", elapsed=elapsed, failure=failure)
+            )
+            self._bad[stage] = stage
+            if self.strict:
+                raise
+            return None, False
+
+        elapsed = time.perf_counter() - start
+        self.outcomes.append(StageOutcome(stage=stage, status="ok", elapsed=elapsed))
+        return value, True
+
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        """Human-readable degradation summary (for the CLI)."""
+        if not self.degraded:
+            return ["all stages completed"]
+        lines: List[str] = []
+        for outcome in self.outcomes:
+            if outcome.status == "failed" and outcome.failure is not None:
+                lines.append(f"FAILED  {outcome.failure.summary()}")
+            elif outcome.status == "skipped":
+                lines.append(
+                    f"skipped {outcome.stage} (requires {outcome.skipped_due_to})"
+                )
+        return lines

@@ -32,6 +32,7 @@ from ..vision.photodna import (
 )
 from ..vision.reverse_search import IndexedCopy, ReverseImageIndex
 from ..web.archive import WaybackArchive
+from ..web.faults import FaultInjector, fault_profile
 from ..web.internet import SimulatedInternet
 from ..vision.photodna import robust_hash
 from .forum_gen import (
@@ -79,10 +80,17 @@ class WorldConfig:
     underage_rate: float = 0.012
     #: Fraction of an underage model's images the hashlist service knows.
     hashlist_rate: float = 0.055
+    #: Named transient-fault profile (see :data:`repro.web.faults.
+    #: FAULT_PROFILES`) injected into the internet at fetch time, or
+    #: ``None`` for a perfectly reliable network.  Fault draws use their
+    #: own seed stream, so world *content* is identical across profiles.
+    fault_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0 or self.scale > 2.0:
             raise ValueError("scale must be in (0, 2]")
+        if self.fault_profile is not None:
+            fault_profile(self.fault_profile)  # validate the name eagerly
 
 
 @dataclass
@@ -119,6 +127,10 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
 
     tree = SeedSequenceTree(config.seed, "world")
     internet = SimulatedInternet(seed=tree.seed("internet"))
+    if config.fault_profile is not None:
+        internet.set_fault_injector(
+            FaultInjector(fault_profile(config.fault_profile), seed=tree.seed("faults"))
+        )
     archive = WaybackArchive(
         seed=tree.seed("archive"), coverage=config.archive_coverage
     )

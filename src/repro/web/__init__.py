@@ -1,21 +1,42 @@
-"""Simulated-internet substrate: URLs, hosting services, fetch, archive, crawler."""
+"""Simulated-internet substrate: URLs, hosting services, fetch, archive, crawler.
+
+Fault tolerance lives here too: :mod:`~repro.web.faults` injects
+transient fetch failures, :mod:`~repro.web.retry` supplies the retry /
+circuit-breaker discipline, and :mod:`~repro.web.checkpoint` makes
+crawls resumable.
+"""
 
 from .archive import CrawlRecord, WaybackArchive
+from .checkpoint import CrawlCheckpoint, link_key
 from .crawler import (
     CrawlResult,
     CrawlStats,
     CrawledImage,
     Crawler,
+    LinkAttempt,
+    LinkAttemptLog,
     LinkRecord,
     content_digest,
 )
+from .faults import (
+    FAULT_PROFILES,
+    DomainFaultSpec,
+    FaultInjector,
+    FaultProfile,
+    ScriptedFaultInjector,
+    TransientFault,
+    fault_profile,
+    stable_uniform,
+)
 from .internet import (
+    TRANSIENT_STATUSES,
     FetchResult,
     FetchStatus,
     HostedResource,
     OriginSite,
     SimulatedInternet,
 )
+from .retry import BreakerBoard, BreakerState, CircuitBreaker, RetryPolicy
 from .sites import (
     CLOUD_STORAGE_SERVICES,
     IMAGE_SHARING_SERVICES,
@@ -27,27 +48,44 @@ from .sites import (
 from .url import Url, extract_urls, normalize_url, registrable_domain
 
 __all__ = [
+    "BreakerBoard",
+    "BreakerState",
     "CLOUD_STORAGE_SERVICES",
+    "CircuitBreaker",
+    "CrawlCheckpoint",
     "CrawlRecord",
     "CrawlResult",
     "CrawlStats",
     "CrawledImage",
     "Crawler",
+    "DomainFaultSpec",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
     "FetchResult",
     "FetchStatus",
     "HostedResource",
     "HostingService",
     "IMAGE_SHARING_SERVICES",
+    "LinkAttempt",
+    "LinkAttemptLog",
     "LinkRecord",
     "OriginSite",
+    "RetryPolicy",
+    "ScriptedFaultInjector",
     "ServiceKind",
     "SimulatedInternet",
+    "TRANSIENT_STATUSES",
+    "TransientFault",
     "Url",
     "WaybackArchive",
     "all_services",
     "content_digest",
     "extract_urls",
+    "fault_profile",
+    "link_key",
     "normalize_url",
     "registrable_domain",
     "service_by_domain",
+    "stable_uniform",
 ]

@@ -1,0 +1,131 @@
+"""Checkpointed, resumable crawls.
+
+A multi-day crawl of the kind the paper ran (§4.2) must survive being
+killed: :class:`CrawlCheckpoint` is a JSON snapshot of crawl progress
+that :meth:`repro.web.crawler.Crawler.crawl` writes as it goes and
+consults on resume.
+
+The snapshot records *outcomes*, not content: for every settled link —
+keyed by a SHA-1 digest of the URL plus its occurrence index, so
+duplicate links in the sequence stay distinct — it stores the final
+:class:`~repro.web.internet.FetchStatus` and the attempt number that
+settled it, alongside the running :class:`~repro.web.crawler.CrawlStats`,
+the virtual clock, the retry-budget spend, circuit-breaker states, and
+any attempt logs.  On resume the crawler skips the retry loop for
+completed links and re-materializes their resources deterministically
+(the real-world analogue: the files are already on disk), so a resumed
+crawl is **byte-identical** to an uninterrupted one — transient faults
+are a pure function of ``(url, attempt)``, never of crawl order.
+
+Resume is idempotent: crawling an already-complete checkpoint again
+replays the recorded outcomes without re-counting anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["CrawlCheckpoint", "link_key"]
+
+_VERSION = 1
+
+
+def link_key(url: str, occurrence: int) -> str:
+    """Stable digest identifying one link *occurrence* in a crawl sequence.
+
+    >>> link_key("https://a.com/x", 0) != link_key("https://a.com/x", 1)
+    True
+    """
+    digest = hashlib.sha1()
+    digest.update(url.encode("utf-8"))
+    digest.update(b"\x1f")
+    digest.update(str(int(occurrence)).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CrawlCheckpoint:
+    """Mutable crawl progress, optionally persisted to a JSON file.
+
+    Construct empty (``CrawlCheckpoint()``) for an in-memory checkpoint,
+    or via :meth:`load` to read/initialize one backed by a file.
+    """
+
+    path: Optional[Path] = None
+    #: link key → {"status": str, "attempt": int, "log": optional dict}.
+    completed: Dict[str, dict] = field(default_factory=dict)
+    #: Serialized :class:`~repro.web.crawler.CrawlStats` (or ``None``).
+    stats: Optional[dict] = None
+    #: Serialized :class:`~repro.web.retry.BreakerBoard` state.
+    breakers: Optional[dict] = None
+    #: Virtual clock at last save, seconds.
+    clock: float = 0.0
+    #: Retries spent against the crawl's retry budget.
+    budget_spent: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CrawlCheckpoint":
+        """Read a checkpoint from ``path``; a fresh one if it is missing."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _VERSION:
+            raise ValueError(f"unsupported checkpoint version {version!r} in {path}")
+        return cls(
+            path=path,
+            completed=dict(data.get("completed", {})),
+            stats=data.get("stats"),
+            breakers=data.get("breakers"),
+            clock=float(data.get("clock", 0.0)),
+            budget_spent=int(data.get("budget_spent", 0)),
+        )
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+        """Atomically write the snapshot; no-op for in-memory checkpoints."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return None
+        payload = {
+            "version": _VERSION,
+            "completed": self.completed,
+            "stats": self.stats,
+            "breakers": self.breakers,
+            "clock": self.clock,
+            "budget_spent": self.budget_spent,
+        }
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, target)
+        return target
+
+    # ------------------------------------------------------------------
+    def is_complete(self, key: str) -> bool:
+        return key in self.completed
+
+    def outcome(self, key: str) -> Optional[dict]:
+        return self.completed.get(key)
+
+    def mark(
+        self, key: str, status: str, attempt: int, log: Optional[dict] = None
+    ) -> None:
+        """Record one settled link occurrence."""
+        entry: dict = {"status": status, "attempt": int(attempt)}
+        if log is not None:
+            entry["log"] = log
+        self.completed[key] = entry
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.path) if self.path is not None else "<memory>"
+        return f"CrawlCheckpoint({where}, n_completed={self.n_completed})"

@@ -7,6 +7,25 @@ per-pack folders, and keeps the bookkeeping the measurements need —
 per-status link counts, per-service tallies, and exact-content digests
 for the deduplication step ("After removing duplicates … there were
 53 948 unique files").
+
+Fault tolerance (the operational layer the paper's crawler needed
+against the real internet) is built in:
+
+* transient fetch outcomes (timeout / rate limit / 5xx, injected by
+  :mod:`repro.web.faults`) are retried under a :class:`~repro.web.retry.
+  RetryPolicy` — capped exponential backoff with full jitter, an optional
+  global retry budget, and ``Retry-After`` honouring;
+* each domain sits behind a :class:`~repro.web.retry.CircuitBreaker`;
+  links to a domain whose breaker is open are recorded as
+  ``SKIPPED_BREAKER_OPEN`` instead of being fetched;
+* progress can be checkpointed to a :class:`~repro.web.checkpoint.
+  CrawlCheckpoint`, and a resumed crawl is byte-identical to an
+  uninterrupted one (fault draws and jitter are pure functions of
+  ``(url, attempt)``, and breaker/clock/budget state rides along in the
+  checkpoint).
+
+With no fault injector installed every fetch settles on its first
+attempt and the crawler behaves exactly like the pre-fault version.
 """
 
 from __future__ import annotations
@@ -14,11 +33,14 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
+from .checkpoint import CrawlCheckpoint, link_key
+from .faults import stable_uniform
 from .internet import FetchStatus, SimulatedInternet
+from .retry import BreakerBoard, RetryPolicy
 from .url import Url
 
 __all__ = [
@@ -26,6 +48,8 @@ __all__ = [
     "CrawlStats",
     "CrawledImage",
     "Crawler",
+    "LinkAttempt",
+    "LinkAttemptLog",
     "LinkRecord",
     "content_digest",
 ]
@@ -64,13 +88,82 @@ class CrawledImage:
     pack_id: Optional[int] = None
 
 
+@dataclass(frozen=True, slots=True)
+class LinkAttempt:
+    """One fetch attempt within a link's retry loop."""
+
+    attempt: int
+    status: FetchStatus
+    #: Backoff slept after this attempt, seconds (0.0 if none followed).
+    delay: float = 0.0
+
+
+@dataclass
+class LinkAttemptLog:
+    """The attempt history of one link that needed the retry machinery.
+
+    Logs are kept only for links whose resolution involved at least one
+    transient event (a retry, a giveup, or a breaker skip), so fault-free
+    crawls carry no per-link log overhead.
+    """
+
+    url: str
+    attempts: List[LinkAttempt]
+    final_status: FetchStatus
+    gave_up: bool = False
+    breaker_skipped: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "attempts": [
+                {"attempt": a.attempt, "status": a.status.value, "delay": a.delay}
+                for a in self.attempts
+            ],
+            "final_status": self.final_status.value,
+            "gave_up": self.gave_up,
+            "breaker_skipped": self.breaker_skipped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkAttemptLog":
+        return cls(
+            url=data["url"],
+            attempts=[
+                LinkAttempt(
+                    attempt=int(a["attempt"]),
+                    status=FetchStatus(a["status"]),
+                    delay=float(a["delay"]),
+                )
+                for a in data["attempts"]
+            ],
+            final_status=FetchStatus(data["final_status"]),
+            gave_up=bool(data.get("gave_up", False)),
+            breaker_skipped=bool(data.get("breaker_skipped", False)),
+        )
+
+
 @dataclass
 class CrawlStats:
-    """Link-level outcome counters."""
+    """Link-level outcome counters.
+
+    ``by_status``/``by_domain`` count each link once, under its *final*
+    status; the retry-layer counters account for the transient events on
+    the way there.  :meth:`merge` combines shard stats for future
+    distributed crawls.
+    """
 
     n_links: int = 0
     by_status: Dict[FetchStatus, int] = field(default_factory=dict)
     by_domain: Dict[str, int] = field(default_factory=dict)
+    #: Retries performed (each is one extra fetch attempt).
+    n_retries: int = 0
+    #: Links abandoned with a transient status after exhausting retries.
+    n_giveups: int = 0
+    #: Links never fetched because their domain's breaker was open.
+    n_breaker_skips: int = 0
+    #: Transient fetch outcomes observed (before retry resolution).
+    n_transient_faults: int = 0
 
     def record(self, domain: str, status: FetchStatus) -> None:
         self.n_links += 1
@@ -84,6 +177,48 @@ class CrawlStats:
     def n_ok(self) -> int:
         return self.count(FetchStatus.OK)
 
+    # ------------------------------------------------------------------
+    def merge(self, other: "CrawlStats") -> "CrawlStats":
+        """A new :class:`CrawlStats` combining two shards' counters."""
+        merged = CrawlStats(
+            n_links=self.n_links + other.n_links,
+            n_retries=self.n_retries + other.n_retries,
+            n_giveups=self.n_giveups + other.n_giveups,
+            n_breaker_skips=self.n_breaker_skips + other.n_breaker_skips,
+            n_transient_faults=self.n_transient_faults + other.n_transient_faults,
+        )
+        for source in (self.by_status, other.by_status):
+            for status, count in source.items():
+                merged.by_status[status] = merged.by_status.get(status, 0) + count
+        for source in (self.by_domain, other.by_domain):
+            for domain, count in source.items():
+                merged.by_domain[domain] = merged.by_domain.get(domain, 0) + count
+        return merged
+
+    # -- checkpoint serialization --------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "n_links": self.n_links,
+            "by_status": {s.value: c for s, c in self.by_status.items()},
+            "by_domain": dict(self.by_domain),
+            "n_retries": self.n_retries,
+            "n_giveups": self.n_giveups,
+            "n_breaker_skips": self.n_breaker_skips,
+            "n_transient_faults": self.n_transient_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrawlStats":
+        return cls(
+            n_links=int(data["n_links"]),
+            by_status={FetchStatus(s): int(c) for s, c in data["by_status"].items()},
+            by_domain={d: int(c) for d, c in data["by_domain"].items()},
+            n_retries=int(data.get("n_retries", 0)),
+            n_giveups=int(data.get("n_giveups", 0)),
+            n_breaker_skips=int(data.get("n_breaker_skips", 0)),
+            n_transient_faults=int(data.get("n_transient_faults", 0)),
+        )
+
 
 @dataclass
 class CrawlResult:
@@ -93,6 +228,8 @@ class CrawlResult:
     pack_images: List[CrawledImage]
     packs: List[Pack]
     stats: CrawlStats
+    #: Attempt histories for links that needed the retry machinery.
+    attempt_logs: List[LinkAttemptLog] = field(default_factory=list)
 
     @property
     def all_images(self) -> List[CrawledImage]:
@@ -116,54 +253,306 @@ class CrawlResult:
             histogram[crawled.digest] = histogram.get(crawled.digest, 0) + 1
         return histogram
 
+    def digest(self) -> str:
+        """Order-sensitive digest of everything measurable in the result.
+
+        Covers the content digests (in crawl order), pack ids, and the
+        full stats — the equality contract a resumed crawl must meet.
+        """
+        h = hashlib.sha1()
+        for crawled in self.preview_images:
+            h.update(crawled.digest.encode("ascii"))
+        h.update(b"|")
+        for crawled in self.pack_images:
+            h.update(crawled.digest.encode("ascii"))
+        h.update(b"|")
+        for pack in self.packs:
+            h.update(str(pack.pack_id).encode("ascii"))
+            h.update(b",")
+        h.update(b"|")
+        h.update(repr(sorted((s.value, c) for s, c in self.stats.by_status.items())).encode())
+        h.update(repr(sorted(self.stats.by_domain.items())).encode())
+        h.update(
+            repr(
+                (
+                    self.stats.n_links,
+                    self.stats.n_retries,
+                    self.stats.n_giveups,
+                    self.stats.n_breaker_skips,
+                    self.stats.n_transient_faults,
+                )
+            ).encode()
+        )
+        return h.hexdigest()
+
 
 class Crawler:
-    """Fetch link records against the simulated internet and download."""
+    """Fetch link records against the simulated internet and download.
 
-    def __init__(self, internet: SimulatedInternet):
+    ``retry_policy`` governs the transient-failure discipline (defaults
+    apply even without faults — they are simply never exercised then);
+    ``breaker_threshold``/``breaker_cooldown`` configure the per-domain
+    circuit breakers.
+    """
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 60.0,
+        jitter_seed: int = 0,
+    ):
         self._internet = internet
+        self._policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._jitter_seed = jitter_seed
 
-    def crawl(self, links: Sequence[LinkRecord]) -> CrawlResult:
+    # ------------------------------------------------------------------
+    def crawl(
+        self,
+        links: Sequence[LinkRecord],
+        checkpoint: Optional[Union[str, "CrawlCheckpoint"]] = None,
+        checkpoint_every: int = 16,
+    ) -> CrawlResult:
         """Crawl all links; OK images are downloaded, OK packs unpacked.
 
         Links behind registration walls are *not* downloaded (the paper
         declines to crawl Dropbox/Drive, §4.2); their status is recorded.
+
+        ``checkpoint`` may be a path (loaded if present, written as the
+        crawl progresses) or a :class:`CrawlCheckpoint` instance.  Link
+        occurrences already settled in the checkpoint are not re-fetched:
+        their outcome is replayed and, for OK links, their content is
+        re-materialized deterministically.  The result of a resumed crawl
+        is byte-identical (see :meth:`CrawlResult.digest`) to an
+        uninterrupted one.
         """
-        stats = CrawlStats()
+        if checkpoint is None:
+            ckpt: Optional[CrawlCheckpoint] = None
+        elif isinstance(checkpoint, CrawlCheckpoint):
+            ckpt = checkpoint
+        else:
+            ckpt = CrawlCheckpoint.load(checkpoint)
+
+        # --- restore interrupted state (or start fresh) ----------------
+        if ckpt is not None and ckpt.stats is not None:
+            stats = CrawlStats.from_dict(ckpt.stats)
+        else:
+            stats = CrawlStats()
+        if ckpt is not None and ckpt.breakers is not None:
+            breakers = BreakerBoard.restore(ckpt.breakers)
+        else:
+            breakers = BreakerBoard(
+                failure_threshold=self._breaker_threshold,
+                cooldown=self._breaker_cooldown,
+            )
+        clock = ckpt.clock if ckpt is not None else 0.0
+        budget_spent = ckpt.budget_spent if ckpt is not None else 0
+
         preview_images: List[CrawledImage] = []
         pack_images: List[CrawledImage] = []
         packs: List[Pack] = []
+        attempt_logs: List[LinkAttemptLog] = []
         seen_pack_ids: Dict[int, None] = {}
+        occurrences: Dict[str, int] = {}
+        since_save = 0
 
         for link in links:
-            result = self._internet.fetch(link.url)
-            stats.record(link.url.host, result.status)
-            if not result.ok:
-                continue
-            resource = result.resource
-            if isinstance(resource, SyntheticImage):
-                preview_images.append(
-                    CrawledImage(image=resource, digest=content_digest(resource), link=link)
-                )
-            elif isinstance(resource, Pack):
-                if resource.pack_id not in seen_pack_ids:
-                    seen_pack_ids[resource.pack_id] = None
-                    packs.append(resource)
-                for image in resource.images:
-                    pack_images.append(
-                        CrawledImage(
-                            image=image,
-                            digest=content_digest(image),
-                            link=link,
-                            pack_id=resource.pack_id,
-                        )
-                    )
-            else:  # pragma: no cover - registry only holds these two types
-                raise TypeError(f"unexpected resource type {type(resource).__name__}")
+            url_str = str(link.url)
+            occurrence = occurrences.get(url_str, 0)
+            occurrences[url_str] = occurrence + 1
+
+            if ckpt is not None:
+                key = link_key(url_str, occurrence)
+                entry = ckpt.outcome(key)
+                if entry is not None:
+                    self._replay(link, entry, preview_images, pack_images,
+                                 packs, seen_pack_ids, attempt_logs)
+                    continue
+            else:
+                key = ""
+
+            final_status, final_attempt, log, resource, clock, budget_spent = (
+                self._fetch_with_retry(link, stats, breakers, clock, budget_spent)
+            )
+            stats.record(link.url.host, final_status)
+            if log is not None:
+                attempt_logs.append(log)
+            if final_status is FetchStatus.OK:
+                self._collect(link, resource, preview_images,
+                              pack_images, packs, seen_pack_ids)
+
+            if ckpt is not None:
+                ckpt.mark(key, final_status.value, final_attempt,
+                          log=log.to_dict() if log is not None else None)
+                ckpt.stats = stats.to_dict()
+                ckpt.breakers = breakers.snapshot()
+                ckpt.clock = clock
+                ckpt.budget_spent = budget_spent
+                since_save += 1
+                if since_save >= max(1, checkpoint_every):
+                    ckpt.save()
+                    since_save = 0
+
+        if ckpt is not None:
+            ckpt.stats = stats.to_dict()
+            ckpt.breakers = breakers.snapshot()
+            ckpt.clock = clock
+            ckpt.budget_spent = budget_spent
+            ckpt.save()
 
         return CrawlResult(
             preview_images=preview_images,
             pack_images=pack_images,
             packs=packs,
             stats=stats,
+            attempt_logs=attempt_logs,
         )
+
+    # ------------------------------------------------------------------
+    def _fetch_with_retry(
+        self,
+        link: LinkRecord,
+        stats: CrawlStats,
+        breakers: BreakerBoard,
+        clock: float,
+        budget_spent: int,
+    ) -> Tuple[FetchStatus, int, Optional[LinkAttemptLog], object, float, int]:
+        """Resolve one link through breaker + retry policy.
+
+        Returns ``(final_status, final_attempt, log_or_None, resource,
+        clock, budget_spent)``.  ``final_attempt`` is the attempt index
+        whose fetch produced ``final_status`` — re-fetching at that index
+        reproduces the outcome exactly (this is what checkpoint replay
+        relies on).
+        """
+        policy = self._policy
+        url_str = str(link.url)
+        host = link.url.host
+        breaker = breakers.breaker(host)
+
+        if not breaker.allow(clock):
+            # Time still passes while we move past a tripped domain —
+            # without this the breaker could never cool down mid-crawl.
+            clock += policy.attempt_cost
+            stats.n_breaker_skips += 1
+            log = LinkAttemptLog(
+                url=url_str,
+                attempts=[],
+                final_status=FetchStatus.SKIPPED_BREAKER_OPEN,
+                breaker_skipped=True,
+            )
+            return FetchStatus.SKIPPED_BREAKER_OPEN, 0, log, None, clock, budget_spent
+
+        attempts: List[LinkAttempt] = []
+        attempt = 0
+        while True:
+            clock += policy.attempt_cost
+            result = self._internet.fetch(link.url, attempt=attempt)
+            status = result.status
+            if not status.transient:
+                breaker.record_success()
+                log = None
+                if attempts:  # at least one retry happened
+                    attempts.append(LinkAttempt(attempt=attempt, status=status))
+                    log = LinkAttemptLog(
+                        url=url_str, attempts=attempts, final_status=status
+                    )
+                return status, attempt, log, result.resource, clock, budget_spent
+
+            stats.n_transient_faults += 1
+            breaker.record_failure(clock)
+            budget_ok = (
+                policy.retry_budget is None or budget_spent < policy.retry_budget
+            )
+            can_retry = (
+                attempt + 1 < policy.max_attempts
+                and budget_ok
+                and breaker.allow(clock)
+            )
+            if not can_retry:
+                attempts.append(LinkAttempt(attempt=attempt, status=status))
+                stats.n_giveups += 1
+                log = LinkAttemptLog(
+                    url=url_str, attempts=attempts, final_status=status, gave_up=True
+                )
+                return status, attempt, log, None, clock, budget_spent
+
+            if (
+                policy.honor_retry_after
+                and status is FetchStatus.RATE_LIMITED
+                and result.retry_after is not None
+            ):
+                delay = result.retry_after
+            else:
+                u = stable_uniform(self._jitter_seed, url_str, str(attempt), "jitter")
+                delay = policy.backoff_delay(attempt, u)
+            attempts.append(LinkAttempt(attempt=attempt, status=status, delay=delay))
+            clock += delay
+            budget_spent += 1
+            stats.n_retries += 1
+            attempt += 1
+
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        link: LinkRecord,
+        entry: dict,
+        preview_images: List[CrawledImage],
+        pack_images: List[CrawledImage],
+        packs: List[Pack],
+        seen_pack_ids: Dict[int, None],
+        attempt_logs: List[LinkAttemptLog],
+    ) -> None:
+        """Re-materialize a checkpointed link outcome without re-crawling.
+
+        Stats are *not* re-recorded (the checkpointed stats already count
+        this occurrence); OK resources are fetched back at the recorded
+        settling attempt, which is deterministic.
+        """
+        log_data = entry.get("log")
+        if log_data is not None:
+            attempt_logs.append(LinkAttemptLog.from_dict(log_data))
+        if FetchStatus(entry["status"]) is not FetchStatus.OK:
+            return
+        result = self._internet.fetch(link.url, attempt=int(entry["attempt"]))
+        if not result.ok:  # pragma: no cover - world/checkpoint mismatch
+            raise RuntimeError(
+                f"checkpoint marked {link.url} OK but re-fetch returned "
+                f"{result.status.value}; checkpoint does not match this world"
+            )
+        self._collect(link, result.resource, preview_images, pack_images,
+                      packs, seen_pack_ids)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect(
+        link: LinkRecord,
+        resource,
+        preview_images: List[CrawledImage],
+        pack_images: List[CrawledImage],
+        packs: List[Pack],
+        seen_pack_ids: Dict[int, None],
+    ) -> None:
+        """Download one OK resource into the result accumulators."""
+        if isinstance(resource, SyntheticImage):
+            preview_images.append(
+                CrawledImage(image=resource, digest=content_digest(resource), link=link)
+            )
+        elif isinstance(resource, Pack):
+            if resource.pack_id not in seen_pack_ids:
+                seen_pack_ids[resource.pack_id] = None
+                packs.append(resource)
+            for image in resource.images:
+                pack_images.append(
+                    CrawledImage(
+                        image=image,
+                        digest=content_digest(image),
+                        link=link,
+                        pack_id=resource.pack_id,
+                    )
+                )
+        else:  # pragma: no cover - registry only holds these two types
+            raise TypeError(f"unexpected resource type {type(resource).__name__}")

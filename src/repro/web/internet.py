@@ -12,9 +12,11 @@ the paper's crawler actually experienced:
   model images were published first, which the reverse-search index and
   the Wayback archive know about.
 
-Fetch outcomes are sampled once at publish time from the hosting
-service's policy, using the internet's seeded RNG, so a world is fully
-reproducible.
+Permanent fetch outcomes are sampled once at publish time from the
+hosting service's policy, using the internet's seeded RNG, so a world is
+fully reproducible.  *Transient* outcomes (timeouts, rate limits, 5xx
+errors) are layered on top at fetch time by an optional fault injector
+(:mod:`repro.web.faults`), deterministically per ``(url, attempt)``.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import numpy as np
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
 from .sites import HostingService, ServiceKind, service_by_domain
-from .url import Url
+from .url import Url, normalize_url
 
 __all__ = [
     "FetchResult",
@@ -38,13 +40,25 @@ __all__ = [
     "HostedResource",
     "OriginSite",
     "SimulatedInternet",
+    "TRANSIENT_STATUSES",
 ]
 
 _TOKEN_ALPHABET = string.ascii_lowercase + string.digits
 
+#: Bound on URL-minting attempts before declaring the namespace exhausted.
+_MINT_MAX_TRIES = 1024
+
 
 class FetchStatus(enum.Enum):
-    """Outcome of fetching a URL at crawl time."""
+    """Outcome of fetching a URL at crawl time.
+
+    Permanent statuses are sampled once at publish time; transient ones
+    (``TIMEOUT``, ``RATE_LIMITED``, ``SERVER_ERROR``) are injected per
+    fetch attempt and may clear on retry.  ``SKIPPED_BREAKER_OPEN`` is
+    never returned by :meth:`SimulatedInternet.fetch`; the crawler records
+    it for links it declined to fetch while a domain's circuit breaker
+    was open.
+    """
 
     OK = "ok"
     NOT_FOUND = "not_found"            # expired or deleted
@@ -52,6 +66,23 @@ class FetchStatus(enum.Enum):
     REGISTRATION_REQUIRED = "registration_required"
     DEFUNCT = "defunct"                # the whole service is gone
     UNKNOWN_HOST = "unknown_host"
+    # Transient, retryable outcomes (injected by repro.web.faults):
+    TIMEOUT = "timeout"                # connection/read timed out
+    RATE_LIMITED = "rate_limited"      # throttled; Retry-After may be set
+    SERVER_ERROR = "server_error"      # 5xx-style transient backend error
+    # Crawler-side accounting (never produced by fetch()):
+    SKIPPED_BREAKER_OPEN = "skipped_breaker_open"
+
+    @property
+    def transient(self) -> bool:
+        """True for outcomes a retry may clear."""
+        return self in TRANSIENT_STATUSES
+
+
+#: Statuses a retry may clear.
+TRANSIENT_STATUSES = frozenset(
+    {FetchStatus.TIMEOUT, FetchStatus.RATE_LIMITED, FetchStatus.SERVER_ERROR}
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +118,8 @@ class FetchResult:
     url: Url
     status: FetchStatus
     resource: Optional[Union[SyntheticImage, Pack]] = None
+    #: Server-suggested wait before retrying (rate limits), seconds.
+    retry_after: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -94,26 +127,53 @@ class FetchResult:
 
 
 class SimulatedInternet:
-    """URL → content registry with policy-driven fetch outcomes."""
+    """URL → content registry with policy-driven fetch outcomes.
 
-    def __init__(self, seed: int = 0):
+    ``fault_injector`` (see :mod:`repro.web.faults`) optionally layers
+    transient failures over the permanent fates at fetch time; leave it
+    ``None`` for a perfectly reliable network (the pre-fault behaviour).
+    """
+
+    def __init__(self, seed: int = 0, fault_injector=None):
         self._rng = np.random.default_rng(seed)
         self._hosted: Dict[str, HostedResource] = {}
         self._origin_sites: Dict[str, OriginSite] = {}
         self._origin_urls: Dict[str, List[Url]] = {}
+        self._fault_injector = fault_injector
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    @property
+    def fault_injector(self):
+        """The active transient-fault injector, or ``None``."""
+        return self._fault_injector
+
+    def set_fault_injector(self, injector) -> None:
+        """Install (or with ``None``, remove) a transient-fault injector."""
+        self._fault_injector = injector
 
     # ------------------------------------------------------------------
     # Hosting on services
     # ------------------------------------------------------------------
     def mint_url(self, domain: str, prefix: str = "") -> Url:
-        """Allocate a fresh URL under ``domain``."""
-        while True:
+        """Allocate a fresh URL under ``domain``.
+
+        Raises :class:`RuntimeError` if no unused token can be found in a
+        bounded number of draws (namespace exhaustion), rather than
+        spinning forever.
+        """
+        for _ in range(_MINT_MAX_TRIES):
             token = "".join(
                 _TOKEN_ALPHABET[i] for i in self._rng.integers(0, len(_TOKEN_ALPHABET), size=8)
             )
             url = Url(host=domain, path=f"/{prefix}{token}")
             if str(url) not in self._hosted:
                 return url
+        raise RuntimeError(
+            f"URL namespace exhausted for domain {domain!r}: "
+            f"no unused token after {_MINT_MAX_TRIES} attempts"
+        )
 
     def host_on_service(
         self,
@@ -183,12 +243,26 @@ class SimulatedInternet:
     # ------------------------------------------------------------------
     # Fetching
     # ------------------------------------------------------------------
-    def fetch(self, url: Union[Url, str]) -> FetchResult:
-        """Fetch a URL at crawl time and return its content or failure."""
+    def fetch(self, url: Union[Url, str], attempt: int = 0) -> FetchResult:
+        """Fetch a URL at crawl time and return its content or failure.
+
+        ``attempt`` is the zero-based retry index; transient faults are a
+        deterministic function of ``(url, attempt)``, so re-fetching at a
+        higher attempt may clear a timeout/rate-limit/5xx while the same
+        ``(url, attempt)`` pair always reproduces the same outcome.
+        """
         key = str(url)
+        parsed = url if isinstance(url, Url) else normalize_url(key)
+        # Transient faults fire before the registry lookup: a timeout
+        # reveals nothing about whether the link is alive.
+        if self._fault_injector is not None and parsed is not None:
+            fault = self._fault_injector.sample(parsed.host, key, attempt)
+            if fault is not None:
+                return FetchResult(
+                    url=parsed, status=fault.status, retry_after=fault.retry_after
+                )
         hosted = self._hosted.get(key)
         if hosted is None:
-            parsed = url if isinstance(url, Url) else None
             return FetchResult(
                 url=parsed if parsed is not None else Url("unknown.invalid", "/"),
                 status=FetchStatus.UNKNOWN_HOST,

@@ -30,6 +30,25 @@ class TestParser:
         assert args.seed == 7
         assert args.scale == 0.02
         assert args.annotate == 1000
+        assert args.fault_profile is None
+        assert args.resume is None
+        assert args.lenient is False
+
+    def test_fault_profile_choices(self):
+        args = build_parser().parse_args(["run", "--fault-profile", "flaky"])
+        assert args.fault_profile == "flaky"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fault-profile", "bogus"])
+
+    def test_resume_default_const(self):
+        args = build_parser().parse_args(["run", "--resume"])
+        assert str(args.resume) == "crawl.checkpoint.json"
+        args = build_parser().parse_args(["run", "--resume", "custom.json"])
+        assert str(args.resume) == "custom.json"
+
+    def test_lenient_flag(self):
+        args = build_parser().parse_args(["run", "--lenient"])
+        assert args.lenient is True
 
 
 class TestRenderers:
@@ -76,6 +95,24 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "== selection (§3) ==" in output
         assert "key actors:" in output
+
+    def test_run_with_fault_profile_and_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "crawl.json"
+        code = main(
+            ["run", *CLI_WORLD, "--annotate", "200",
+             "--fault-profile", "flaky", "--resume", str(ckpt)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "-- crawl resilience --" in output
+        assert "retries:" in output
+        assert ckpt.exists()
+        # a second run resumes from the completed checkpoint and succeeds
+        code = main(
+            ["run", *CLI_WORLD, "--annotate", "200",
+             "--fault-profile", "flaky", "--resume", str(ckpt)]
+        )
+        assert code == 0
 
     def test_tables_writes_files(self, tmp_path, capsys):
         out = tmp_path / "tables"

@@ -1,0 +1,217 @@
+"""Tests for the transient-fault model (repro.web.faults)."""
+
+from datetime import datetime
+
+import pytest
+
+import repro.web.internet as internet_mod
+from repro.media import ImageKind, SyntheticImage, sample_latent
+from repro.web import (
+    FAULT_PROFILES,
+    Crawler,
+    DomainFaultSpec,
+    FaultInjector,
+    FaultProfile,
+    FetchStatus,
+    HostingService,
+    LinkRecord,
+    ScriptedFaultInjector,
+    ServiceKind,
+    SimulatedInternet,
+    TRANSIENT_STATUSES,
+    fault_profile,
+    stable_uniform,
+)
+
+T0 = datetime(2014, 5, 1)
+
+
+def make_image(rng, image_id=1):
+    return SyntheticImage(
+        image_id, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1)
+    )
+
+
+def reliable_service(**kwargs):
+    defaults = dict(
+        name="svc", domain="svc.com", kind=ServiceKind.IMAGE_SHARING,
+        weight=1.0, dead_link_rate=0.0, tos_takedown_rate=0.0,
+    )
+    defaults.update(kwargs)
+    return HostingService(**defaults)
+
+
+class TestStableUniform:
+    def test_deterministic_and_order_independent(self):
+        a = stable_uniform(7, "https://a.com/x", "0")
+        stable_uniform(7, "something", "else")  # interleaved draws change nothing
+        assert stable_uniform(7, "https://a.com/x", "0") == a
+
+    def test_range_and_spread(self):
+        values = [stable_uniform(1, f"u{i}") for i in range(500)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.4 < sum(values) / len(values) < 0.6  # roughly uniform
+
+    def test_seed_sensitivity(self):
+        assert stable_uniform(1, "x") != stable_uniform(2, "x")
+
+
+class TestProfiles:
+    def test_registry_lookup(self):
+        assert fault_profile("flaky").name == "flaky"
+        assert fault_profile("none").default.total_rate == 0.0
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            fault_profile("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DomainFaultSpec(timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            DomainFaultSpec(timeout_rate=0.5, rate_limit_rate=0.6)
+        with pytest.raises(ValueError):
+            DomainFaultSpec(retry_after=-1.0)
+
+    def test_overrides(self):
+        profile = FaultProfile(
+            "custom",
+            DomainFaultSpec(),
+            overrides={"bad.com": DomainFaultSpec(timeout_rate=1.0)},
+        )
+        assert profile.spec_for("bad.com").timeout_rate == 1.0
+        assert profile.spec_for("good.com").total_rate == 0.0
+
+    def test_all_builtin_profiles_valid(self):
+        for name, profile in FAULT_PROFILES.items():
+            assert profile.name == name
+            assert 0.0 <= profile.default.total_rate <= 1.0
+
+
+class TestFaultInjector:
+    def test_deterministic_per_url_attempt(self):
+        injector_a = FaultInjector(fault_profile("hostile"), seed=9)
+        injector_b = FaultInjector(fault_profile("hostile"), seed=9)
+        urls = [f"https://svc.com/{i}" for i in range(300)]
+        outcomes_a = [injector_a.sample("svc.com", u, 0) for u in urls]
+        outcomes_b = [injector_b.sample("svc.com", u, 0) for u in reversed(urls)]
+        assert outcomes_a == list(reversed(outcomes_b))
+
+    def test_rates_approximately_honored(self):
+        profile = fault_profile("flaky")
+        injector = FaultInjector(profile, seed=3)
+        n = 4000
+        faults = sum(
+            injector.sample("svc.com", f"https://svc.com/{i}", 0) is not None
+            for i in range(n)
+        )
+        expected = profile.default.total_rate
+        assert abs(faults / n - expected) < 0.02
+        assert injector.n_injected == faults
+
+    def test_transient_statuses_only(self):
+        injector = FaultInjector(fault_profile("hostile"), seed=0)
+        for i in range(500):
+            fault = injector.sample("svc.com", f"https://svc.com/{i}", 0)
+            if fault is not None:
+                assert fault.status in TRANSIENT_STATUSES
+
+    def test_rate_limit_carries_retry_after(self):
+        spec = DomainFaultSpec(rate_limit_rate=1.0, retry_after=7.5)
+        injector = FaultInjector(FaultProfile("rl", spec), seed=0)
+        fault = injector.sample("svc.com", "https://svc.com/x", 0)
+        assert fault.status is FetchStatus.RATE_LIMITED
+        assert fault.retry_after == 7.5
+
+    def test_none_profile_injects_nothing(self):
+        injector = FaultInjector(fault_profile("none"), seed=0)
+        assert all(
+            injector.sample("a.com", f"https://a.com/{i}", 0) is None
+            for i in range(100)
+        )
+
+
+class TestScriptedInjector:
+    def test_fails_first_n_attempts(self):
+        injector = ScriptedFaultInjector({"https://a.com/x": 2})
+        assert injector.sample("a.com", "https://a.com/x", 0) is not None
+        assert injector.sample("a.com", "https://a.com/x", 1) is not None
+        assert injector.sample("a.com", "https://a.com/x", 2) is None
+
+    def test_host_level_rule(self):
+        injector = ScriptedFaultInjector(
+            {"a.com": 1}, status=FetchStatus.SERVER_ERROR
+        )
+        fault = injector.sample("a.com", "https://a.com/anything", 0)
+        assert fault.status is FetchStatus.SERVER_ERROR
+        assert injector.sample("b.com", "https://b.com/x", 0) is None
+
+    def test_rejects_permanent_status(self):
+        with pytest.raises(ValueError):
+            ScriptedFaultInjector({}, status=FetchStatus.NOT_FOUND)
+
+
+class TestInternetFaultIntegration:
+    def test_fetch_surfaces_transient_then_clears(self, rng):
+        net = SimulatedInternet(seed=1)
+        url = net.host_on_service(reliable_service(), make_image(rng), T0, False)
+        net.set_fault_injector(ScriptedFaultInjector({str(url): 2}))
+        assert net.fetch(url, attempt=0).status is FetchStatus.TIMEOUT
+        assert net.fetch(url, attempt=1).status is FetchStatus.TIMEOUT
+        result = net.fetch(url, attempt=2)
+        assert result.ok and result.resource is not None
+
+    def test_fault_hides_permanent_fate(self, rng):
+        net = SimulatedInternet(seed=1)
+        dead = reliable_service(dead_link_rate=1.0)
+        url = net.host_on_service(dead, make_image(rng), T0, False)
+        net.set_fault_injector(ScriptedFaultInjector({str(url): 1}))
+        assert net.fetch(url, attempt=0).status is FetchStatus.TIMEOUT
+        assert net.fetch(url, attempt=1).status is FetchStatus.NOT_FOUND
+
+    def test_same_attempt_reproduces_outcome(self, rng):
+        net = SimulatedInternet(seed=1)
+        url = net.host_on_service(reliable_service(), make_image(rng), T0, False)
+        net.set_fault_injector(FaultInjector(fault_profile("hostile"), seed=5))
+        first = net.fetch(url, attempt=0).status
+        for _ in range(3):
+            assert net.fetch(url, attempt=0).status is first
+
+    def test_no_injector_means_no_transients(self, rng):
+        net = SimulatedInternet(seed=1)
+        url = net.host_on_service(reliable_service(), make_image(rng), T0, False)
+        assert net.fault_injector is None
+        assert all(net.fetch(url, attempt=a).ok for a in range(5))
+
+
+class TestSatelliteBugfixes:
+    def test_fetch_unknown_string_url_parses_real_host(self):
+        """Satellite: unknown string URLs must report their real host."""
+        net = SimulatedInternet()
+        result = net.fetch("https://nowhere.example/x")
+        assert result.status is FetchStatus.UNKNOWN_HOST
+        assert result.url.host == "nowhere.example"
+        assert result.url.path == "/x"
+
+    def test_unknown_string_url_reaches_crawl_stats(self):
+        from repro.web import Url
+
+        net = SimulatedInternet()
+        link = LinkRecord(url=Url("nowhere.example", "/x"))
+        stats = Crawler(net).crawl([link]).stats
+        assert stats.by_domain == {"nowhere.example": 1}
+
+    def test_fetch_unparseable_string_still_answers(self):
+        net = SimulatedInternet()
+        result = net.fetch("not a url at all")
+        assert result.status is FetchStatus.UNKNOWN_HOST
+        assert result.url.host == "unknown.invalid"
+
+    def test_mint_url_exhaustion_raises(self, rng, monkeypatch):
+        """Satellite: mint_url must terminate on namespace exhaustion."""
+        monkeypatch.setattr(internet_mod, "_TOKEN_ALPHABET", "a")
+        net = SimulatedInternet(seed=1)
+        first = net.mint_url("tiny.com")  # only token "aaaaaaaa" exists
+        net._hosted[str(first)] = object()
+        with pytest.raises(RuntimeError, match="namespace exhausted"):
+            net.mint_url("tiny.com")
