@@ -137,6 +137,11 @@ def _resilience_summary(report) -> str:
                 )
             else:
                 lines.append(f"ok      {outcome.stage} [{outcome.elapsed:.2f}s]")
+    lines.append("-- vision cache --")
+    if report.vision_cache_stats is not None:
+        lines.append(report.vision_cache_stats.summary())
+    else:
+        lines.append("no vision-cache statistics recorded")
     return "\n".join(lines)
 
 

@@ -19,12 +19,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..forum.dataset import ForumDataset
+from ..vision.batch import hash_batch
+from ..vision.cache import VisionCache
 from ..vision.photodna import (
     AbuseSeverity,
     HashListService,
+    MatchResult,
     ReportLog,
     ReportRecord,
-    robust_hash,
 )
 from ..vision.reverse_search import ReverseImageIndex
 from ..web.crawler import CrawledImage
@@ -67,10 +69,12 @@ class AbuseFilter:
         hashlist: HashListService,
         reverse_index: Optional[ReverseImageIndex] = None,
         domain_info: Optional[DomainInfoFn] = None,
+        cache: Optional[VisionCache] = None,
     ):
         self._hashlist = hashlist
         self._reverse_index = reverse_index
         self._domain_info = domain_info if domain_info is not None else (lambda d: (None, None))
+        self._cache = cache
 
     # ------------------------------------------------------------------
     def sweep(
@@ -82,35 +86,50 @@ class AbuseFilter:
 
         ``dataset`` enables the thread/actor exposure statistics; without
         it only image-level results are produced.
+
+        Hashing is deduplicated by content digest: each distinct image
+        is hashed exactly once (through the batched vision engine, and
+        through the shared :class:`VisionCache` when one is attached),
+        no matter how many crawled copies carry the same digest.
         """
         log = ReportLog()
         matched_digests: Set[str] = set()
         affected_threads: Set[int] = set()
-        seen_digests: Set[str] = set()
         n_matched_images = 0
 
+        # Pass 1: one representative copy per digest, in first-seen order.
+        representatives: Dict[str, CrawledImage] = {}
         for crawled in images:
-            if crawled.digest in matched_digests:
-                self._delete(crawled)
-                if crawled.link.thread_id is not None:
-                    affected_threads.add(crawled.link.thread_id)
-                continue
-            first_time = crawled.digest not in seen_digests
-            seen_digests.add(crawled.digest)
-            if not first_time:
-                continue
-            image_hash = robust_hash(crawled.image.pixels)
-            match = self._hashlist.match_hash(image_hash)
+            representatives.setdefault(crawled.digest, crawled)
+        digests = list(representatives)
+        hashes = self._hashes_for(representatives, digests)
+        matches = self._hashlist.match_hashes(hashes)
+        match_by_digest: Dict[str, MatchResult] = dict(zip(digests, matches))
+        hash_by_digest: Dict[str, int] = dict(zip(digests, hashes))
+
+        # Pass 2: apply per-copy semantics in crawl order.
+        reported_digests: Set[str] = set()
+        for crawled in images:
+            match = match_by_digest[crawled.digest]
             if not match.matched:
                 continue
-            n_matched_images += 1
-            matched_digests.add(crawled.digest)
             if crawled.link.thread_id is not None:
                 affected_threads.add(crawled.link.thread_id)
-            entry = match.entry
-            assert entry is not None
-            if entry.actionable:
-                self._report(log, crawled, image_hash, entry.severity, entry.victim_age)
+            if crawled.digest not in matched_digests:
+                matched_digests.add(crawled.digest)
+                n_matched_images += 1
+            if crawled.digest not in reported_digests:
+                reported_digests.add(crawled.digest)
+                entry = match.entry
+                assert entry is not None
+                if entry.actionable:
+                    self._report(
+                        log,
+                        crawled,
+                        hash_by_digest[crawled.digest],
+                        entry.severity,
+                        entry.victim_age,
+                    )
             self._delete(crawled)
 
         exposed = self._exposed_actors(dataset, affected_threads) if dataset else set()
@@ -127,6 +146,21 @@ class AbuseFilter:
         )
 
     # ------------------------------------------------------------------
+    def _hashes_for(
+        self,
+        representatives: Dict[str, CrawledImage],
+        digests: List[str],
+    ) -> List[int]:
+        """Perceptual hashes for each digest, batched and cache-aware."""
+        if self._cache is not None:
+            keyed = [
+                (digest, (lambda c=representatives[digest]: c.image.pixels))
+                for digest in digests
+            ]
+            return self._cache.hashes_for(keyed, hash_batch)
+        rasters = [representatives[digest].image.pixels for digest in digests]
+        return [int(h) for h in hash_batch(rasters)]
+
     def _report(
         self,
         log: ReportLog,

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..finance.parser import parse_exchange_heading
+from ..vision.bits import popcount
 from ..vision.photodna import hamming_distance, robust_hash
 from ..web.crawler import CrawlResult, CrawledImage
 from .earnings import CurrencyExchangeTable, EarningsResult
@@ -118,7 +119,7 @@ class BlacklistIntervention:
             return False
         if self._array is None:
             self._array = np.array(self._hashes, dtype=np.uint64)
-        distances = np.bitwise_count(self._array ^ np.uint64(image_hash))
+        distances = popcount(self._array ^ np.uint64(image_hash))
         return bool(distances.min() <= self.radius)
 
     # ------------------------------------------------------------------

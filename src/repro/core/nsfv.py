@@ -21,10 +21,11 @@ positives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..vision.cache import VisionCache
 from ..vision.nsfw import NsfwScorer
 from ..vision.ocr import OcrEngine
 
@@ -94,6 +95,52 @@ class NsfvClassifier:
         """Algorithm 1's boolean: True when safe for viewing."""
         return self.classify(pixels).safe_for_viewing
 
-    def classify_batch(self, rasters: Iterable[np.ndarray]) -> List[NsfvVerdict]:
-        """Classify many rasters."""
-        return [self.classify(pixels) for pixels in rasters]
+    def classify_batch(
+        self,
+        rasters: Sequence[np.ndarray],
+        *,
+        digests: Optional[Sequence[str]] = None,
+        cache: Optional[VisionCache] = None,
+    ) -> List[NsfvVerdict]:
+        """Classify many rasters, optionally memoised through a cache.
+
+        When ``digests`` (one content digest per raster, aligned) and a
+        :class:`~repro.vision.cache.VisionCache` are both supplied, NSFW
+        scores and OCR word counts are looked up / stored under each
+        digest, so repeated digests — within this batch or across
+        pipeline stages — are scored once.  Verdicts are identical to
+        mapping :meth:`classify` over the same rasters: OCR still runs
+        only inside the ambiguous band, and a cached OCR count never
+        changes a clear-cut verdict.
+        """
+        items = rasters if isinstance(rasters, list) else list(rasters)
+        if digests is not None and len(digests) != len(items):
+            raise ValueError("digests must align one-to-one with rasters")
+        if digests is None or cache is None:
+            return [self.classify(pixels) for pixels in items]
+
+        verdicts: List[Optional[NsfvVerdict]] = [None] * len(items)
+        seen: Dict[str, NsfvVerdict] = {}
+        for i, (pixels, digest) in enumerate(zip(items, digests)):
+            cached = seen.get(digest)
+            if cached is not None:
+                verdicts[i] = cached
+                continue
+            nsfw = float(
+                cache.nsfw_for(digest, lambda p=pixels: self.scorer.score(p))
+            )
+            if nsfw < self.sfv_threshold:
+                verdict = NsfvVerdict(True, nsfw, 0)
+            elif nsfw > self.nsfv_threshold:
+                verdict = NsfvVerdict(False, nsfw, 0)
+            else:
+                words = int(
+                    cache.ocr_for(digest, lambda p=pixels: self.ocr.word_count(p))
+                )
+                if nsfw < self.low_band_threshold:
+                    verdict = NsfvVerdict(words > self.low_ocr_words, nsfw, words)
+                else:
+                    verdict = NsfvVerdict(words > self.high_ocr_words, nsfw, words)
+            seen[digest] = verdict
+            verdicts[i] = verdict
+        return [v for v in verdicts if v is not None]

@@ -38,6 +38,7 @@ from ..forum.models import Thread
 from ..forum.query import ForumSummary, ewhoring_threads, forum_summaries
 from ..ml.split import train_test_split
 from ..synth.earnings_gen import ProofPlan
+from ..vision.cache import VisionCache, VisionCacheStats
 from ..vision.photodna import HashListService
 from ..vision.reverse_search import ReverseImageIndex
 from ..web.archive import WaybackArchive
@@ -124,6 +125,9 @@ class PipelineReport:
     stage_outcomes: List[StageOutcome] = field(default_factory=list)
     stage_failures: List[StageFailure] = field(default_factory=list)
 
+    #: Hit/miss/evict counters of the run's shared :class:`VisionCache`.
+    vision_cache_stats: Optional[VisionCacheStats] = None
+
     @property
     def nsfv_previews(self) -> List[CrawledImage]:
         """Previews classified Not-Safe-For-Viewing (model images)."""
@@ -159,6 +163,7 @@ class EwhoringPipeline:
         nsfv: Optional[NsfvClassifier] = None,
         retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
+        vision_cache: Optional[VisionCache] = None,
     ):
         self.dataset = dataset
         self.internet = internet
@@ -172,6 +177,8 @@ class EwhoringPipeline:
         )
         self.nsfv = nsfv if nsfv is not None else NsfvClassifier()
         self.seed = seed
+        #: Shared per-run memo of hash / NSFW / OCR work (see DESIGN.md §7).
+        self.vision_cache = vision_cache if vision_cache is not None else VisionCache()
 
     # ------------------------------------------------------------------
     def run(
@@ -238,6 +245,7 @@ class EwhoringPipeline:
                 self.hashlist,
                 reverse_index=self.reverse_index,
                 domain_info=self._domain_info,
+                cache=self.vision_cache,
             )
             abuse = abuse_filter.sweep(crawl.all_images, dataset=self.dataset)
             clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
@@ -256,14 +264,12 @@ class EwhoringPipeline:
 
         # ---- stage 4: NSFV classification ---------------------------
         def _stage_nsfv():
-            preview_verdicts: List[Tuple[CrawledImage, NsfvVerdict]] = []
-            seen_digests: Dict[str, NsfvVerdict] = {}
-            for crawled in clean_previews:
-                verdict = seen_digests.get(crawled.digest)
-                if verdict is None:
-                    verdict = self.nsfv.classify(crawled.image.pixels)
-                    seen_digests[crawled.digest] = verdict
-                preview_verdicts.append((crawled, verdict))
+            verdicts = self.nsfv.classify_batch(
+                [c.image.pixels for c in clean_previews],
+                digests=[c.digest for c in clean_previews],
+                cache=self.vision_cache,
+            )
+            preview_verdicts = list(zip(clean_previews, verdicts))
             return preview_verdicts, [c for c, v in preview_verdicts if v.nsfv]
 
         nsfv_out, _ = runner.run(
@@ -283,6 +289,7 @@ class EwhoringPipeline:
                 archive=self.archive,
                 classifiers=self.classifiers,
                 category_lookup=self.category_lookup,
+                cache=self.vision_cache,
             ).analyze(clean_pack_images, nsfv_previews)
 
         provenance, _ = runner.run(
@@ -370,6 +377,7 @@ class EwhoringPipeline:
             interests=interests,
             stage_outcomes=list(runner.outcomes),
             stage_failures=list(runner.failures),
+            vision_cache_stats=self.vision_cache.stats(),
         )
 
     # ------------------------------------------------------------------

@@ -23,7 +23,9 @@ import numpy as np
 
 from ..domains.classifiers import DomainClassifier, DomainVerdict, tag_distribution
 from ..media.pack import Pack
+from ..vision.cache import VisionCache
 from ..vision.nsfw import NsfwScorer
+from ..vision.photodna import robust_hash
 from ..vision.reverse_search import ReverseImageIndex, ReverseSearchReport
 from ..web.archive import WaybackArchive
 from ..web.crawler import CrawledImage
@@ -122,6 +124,7 @@ class ProvenanceAnalyzer:
         category_lookup: Optional[Callable[[str], Optional[str]]] = None,
         scorer: Optional[NsfwScorer] = None,
         sampling: PackSampling = PackSampling(),
+        cache: Optional[VisionCache] = None,
     ):
         self._index = reverse_index
         self._archive = archive
@@ -129,6 +132,7 @@ class ProvenanceAnalyzer:
         self._category_lookup = category_lookup if category_lookup is not None else (lambda d: None)
         self._scorer = scorer if scorer is not None else NsfwScorer()
         self._sampling = sampling
+        self._cache = cache
 
     # ------------------------------------------------------------------
     def analyze(
@@ -189,9 +193,7 @@ class ProvenanceAnalyzer:
             if len(members) <= self._sampling.per_pack:
                 selected.extend(members)
                 continue
-            scored = sorted(
-                members, key=lambda c: self._scorer.score(c.image.pixels)
-            )
+            scored = sorted(members, key=self._nsfw_score)
             # Evenly spaced score quantiles; per_pack=3 gives the paper's
             # lowest / median / highest selection.
             positions = np.linspace(0, len(scored) - 1, self._sampling.per_pack)
@@ -199,8 +201,26 @@ class ProvenanceAnalyzer:
             selected.extend(scored[i] for i in picks)
         return selected
 
+    def _nsfw_score(self, crawled: CrawledImage) -> float:
+        """NSFW score for sampling, memoised through the shared cache."""
+        if self._cache is None:
+            return self._scorer.score(crawled.image.pixels)
+        return float(
+            self._cache.nsfw_for(
+                crawled.digest,
+                lambda: self._scorer.score(crawled.image.pixels),
+            )
+        )
+
     def _query(self, crawled: CrawledImage) -> QueryOutcome:
-        report = self._index.search_pixels(crawled.image.pixels)
+        if self._cache is None:
+            report = self._index.search_pixels(crawled.image.pixels)
+        else:
+            query_hash = self._cache.hash_for(
+                crawled.digest,
+                lambda: robust_hash(crawled.image.pixels),
+            )
+            report = self._index.search_hash(int(query_hash))
         posted_at = crawled.link.posted_at
         seen_before = False
         if posted_at is not None:

@@ -1,0 +1,92 @@
+"""Low-level bit kernels shared by the vision stack.
+
+Three primitives every hash-heavy stage leans on:
+
+* :func:`popcount` — per-element set-bit counts over ``uint64`` arrays.
+  Uses :func:`numpy.bitwise_count` when available (NumPy ≥ 2.0) and a
+  byte lookup table otherwise, so the library keeps working on the 1.x
+  series the fallback matrix in DESIGN.md §7 documents;
+* :func:`pack_bits_rows` — vectorised MSB-first bit packing, replacing
+  the per-bit Python loops the hash functions shipped with;
+* :func:`hamming_matrix` — many-vs-many Hamming distances via a single
+  broadcast XOR + popcount, the kernel behind batched hashlist matching
+  and reverse search.
+
+This module sits below :mod:`repro.vision.photodna` in the import graph
+and depends only on NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "HAS_NATIVE_POPCOUNT",
+    "hamming_matrix",
+    "pack_bits_rows",
+    "popcount",
+]
+
+#: True when :func:`numpy.bitwise_count` exists (NumPy ≥ 2.0).
+HAS_NATIVE_POPCOUNT: bool = hasattr(np, "bitwise_count")
+
+#: Set-bit count of every byte value, for the NumPy < 2.0 fallback.
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+_BYTE_SHIFTS = np.arange(0, 64, 8, dtype=np.uint64)
+
+
+def _popcount_lookup(values: np.ndarray) -> np.ndarray:
+    """Pure-NumPy popcount: split each word into bytes, sum table hits."""
+    words = np.asarray(values, dtype=np.uint64)
+    nibbles = (words[..., None] >> _BYTE_SHIFTS) & np.uint64(0xFF)
+    return _POPCOUNT_TABLE[nibbles.astype(np.intp)].sum(axis=-1, dtype=np.int64)
+
+
+def popcount(values: Union[int, np.ndarray]) -> np.ndarray:
+    """Per-element count of set bits of ``values`` as ``uint64`` words.
+
+    Accepts scalars or arrays of any shape; returns ``int64`` counts of
+    the same shape.  Dispatches to :func:`numpy.bitwise_count` on
+    NumPy ≥ 2.0 and to a byte lookup table on older releases, so callers
+    never touch the version split.
+
+    >>> int(popcount(0b1011))
+    3
+    """
+    words = np.asarray(values, dtype=np.uint64)
+    if HAS_NATIVE_POPCOUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    return _popcount_lookup(words)
+
+
+def pack_bits_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack each row of a boolean ``(n, k)`` array into one ``uint64``.
+
+    MSB-first: ``bits[:, 0]`` lands in the highest of the ``k`` packed
+    bits, matching the scalar ``value = (value << 1) | bit`` loop the
+    hash functions historically used.  ``k`` must be ≤ 64.
+
+    >>> int(pack_bits_rows(np.array([[True, False, True]]))[0])
+    5
+    """
+    rows = np.asarray(bits, dtype=bool)
+    if rows.ndim != 2:
+        raise ValueError("pack_bits_rows expects a 2-D (n, k) bit array")
+    k = rows.shape[1]
+    if k > 64:
+        raise ValueError("cannot pack more than 64 bits per row")
+    shifts = np.arange(k - 1, -1, -1, dtype=np.uint64)
+    return np.left_shift(rows.astype(np.uint64), shifts).sum(axis=1, dtype=np.uint64)
+
+
+def hamming_matrix(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """All-pairs Hamming distances between two ``uint64`` hash vectors.
+
+    Returns an ``(n_queries, n_corpus)`` ``int64`` matrix — one
+    broadcast XOR plus one popcount, replacing a Python double loop.
+    """
+    q = np.asarray(queries, dtype=np.uint64).reshape(-1)
+    c = np.asarray(corpus, dtype=np.uint64).reshape(-1)
+    return popcount(q[:, None] ^ c[None, :])

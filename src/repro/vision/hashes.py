@@ -21,16 +21,15 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from .bits import pack_bits_rows
 from .photodna import _block_mean_resize, _to_grayscale, robust_hash
 
 __all__ = ["HASH_FUNCTIONS", "average_hash", "difference_hash"]
 
 
 def _pack_bits(bits: np.ndarray) -> int:
-    value = 0
-    for bit in bits.ravel():
-        value = (value << 1) | int(bool(bit))
-    return value
+    """MSB-first pack of up to 64 bits (vectorised; see bits.py)."""
+    return int(pack_bits_rows(np.asarray(bits).ravel()[None, :])[0])
 
 
 def average_hash(pixels: np.ndarray) -> int:

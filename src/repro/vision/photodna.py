@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import fft as scipy_fft
 
+from .bits import pack_bits_rows, popcount
+
 __all__ = [
     "AbuseSeverity",
     "HashListEntry",
@@ -47,25 +49,55 @@ def _to_grayscale(pixels: np.ndarray) -> np.ndarray:
     return pixels
 
 
+def _resize_axis(values: np.ndarray, target: int, axis: int) -> np.ndarray:
+    """Resize one axis to ``target`` samples.
+
+    Axes at least ``target`` long are block-averaged (area
+    interpolation) with ``np.add.reduceat``; shorter axes are upsampled
+    by nearest-neighbour.  Works on arrays of any rank, so the batched
+    engine can resize a whole ``(n, h, w)`` stack with two calls.
+    """
+    length = values.shape[axis]
+    if length < target:
+        # Upsample the short axis by nearest-neighbour.
+        idx = np.clip((np.arange(target) * length / target).astype(int), 0, length - 1)
+        return np.take(values, idx, axis=axis).astype(np.float64, copy=False)
+    if length % target == 0:
+        # Evenly divisible: reshape + small-axis sum (contiguous, far
+        # faster than reduceat, and bit-identical for these tiny block
+        # sizes where NumPy's reduction is sequential).
+        k = length // target
+        shaped = values.reshape(
+            values.shape[:axis] + (target, k) + values.shape[axis + 1 :]
+        )
+        if k == 2 and shaped.ndim <= 26:
+            # Axis halving: einsum's contraction avoids NumPy's slow
+            # small-axis reduction loop.  A k=2 sum is a single IEEE
+            # add (commutative, exact), so this is exactly
+            # ``shaped.sum(...)``.
+            letters = "abcdefghijklmnopqrstuvwxyz"[: shaped.ndim]
+            out = letters[: axis + 1] + letters[axis + 2 :]
+            return np.einsum(f"{letters}->{out}", shaped) / float(k)
+        return shaped.sum(axis=axis + 1, dtype=np.float64) / float(k)
+    edges = np.linspace(0, length, target + 1).astype(int)
+    counts = np.diff(edges).astype(np.float64)
+    sums = np.add.reduceat(values, edges[:-1], axis=axis)
+    shape = [1] * values.ndim
+    shape[axis] = target
+    return sums / counts.reshape(shape)
+
+
 def _block_mean_resize(gray: np.ndarray, target: int) -> np.ndarray:
     """Resize to target×target by block averaging (area interpolation).
 
     Implemented with ``np.add.reduceat`` over row/column bins so hashing
     stays cheap even when the index covers tens of thousands of images.
+    Each axis is handled independently: a 4×1000 raster still
+    area-averages its long axis while only the 4-row axis is
+    nearest-neighbour upsampled, keeping hashes stable under extreme
+    aspect ratios.
     """
-    height, width = gray.shape
-    if height < target or width < target:
-        # Upsample tiny inputs by nearest-neighbour first.
-        row_idx = np.clip((np.arange(target) * height / target).astype(int), 0, height - 1)
-        col_idx = np.clip((np.arange(target) * width / target).astype(int), 0, width - 1)
-        return gray[np.ix_(row_idx, col_idx)].astype(np.float64)
-    row_edges = np.linspace(0, height, target + 1).astype(int)
-    col_edges = np.linspace(0, width, target + 1).astype(int)
-    row_counts = np.diff(row_edges).astype(np.float64)
-    col_counts = np.diff(col_edges).astype(np.float64)
-    sums = np.add.reduceat(gray, row_edges[:-1], axis=0)
-    sums = np.add.reduceat(sums, col_edges[:-1], axis=1)
-    return sums / (row_counts[:, None] * col_counts[None, :])
+    return _resize_axis(_resize_axis(gray, target, axis=0), target, axis=1)
 
 
 def robust_hash(pixels: np.ndarray) -> int:
@@ -82,15 +114,12 @@ def robust_hash(pixels: np.ndarray) -> int:
     block[0] = spectrum[8, 8]  # drop the DC term (pure brightness)
     median = np.median(block)
     bits = block > median
-    value = 0
-    for bit in bits:
-        value = (value << 1) | int(bit)
-    return value
+    return int(pack_bits_rows(bits[None, :])[0])
 
 
 def hamming_distance(hash_a: int, hash_b: int) -> int:
     """Number of differing bits between two 64-bit hashes."""
-    return int(bin((hash_a ^ hash_b) & ((1 << _HASH_BITS) - 1)).count("1"))
+    return int(popcount((hash_a ^ hash_b) & ((1 << _HASH_BITS) - 1)))
 
 
 class AbuseSeverity(enum.Enum):
@@ -234,13 +263,49 @@ class HashListService:
         if not self._entries:
             return MatchResult(matched=False)
         hashes = self._hashes()
-        query = np.uint64(image_hash)
-        distances = np.bitwise_count(hashes ^ query)
+        distances = popcount(hashes ^ np.uint64(image_hash))
         best = int(np.argmin(distances))
         best_distance = int(distances[best])
         if best_distance <= self.radius:
             return MatchResult(matched=True, entry=self._entries[best], distance=best_distance)
         return MatchResult(matched=False, distance=best_distance)
+
+    def match_hashes(
+        self, image_hashes: Sequence[int], chunk_size: int = 1024
+    ) -> List[MatchResult]:
+        """Match many precomputed hashes in one vectorised sweep.
+
+        Equivalent to ``[self.match_hash(h) for h in image_hashes]`` but
+        computes the whole query×entry Hamming matrix per chunk (one XOR
+        + popcount) instead of one row at a time.  ``chunk_size`` bounds
+        the matrix memory for very large query batches.
+        """
+        queries = np.asarray(list(image_hashes), dtype=np.uint64)
+        if queries.size == 0:
+            return []
+        if not self._entries:
+            return [MatchResult(matched=False) for _ in range(queries.size)]
+        from .bits import hamming_matrix  # local: keeps module-level deps minimal
+
+        hashes = self._hashes()
+        results: List[MatchResult] = []
+        for start in range(0, queries.size, chunk_size):
+            block = queries[start : start + chunk_size]
+            distances = hamming_matrix(block, hashes)
+            best_idx = np.argmin(distances, axis=1)
+            best_dist = distances[np.arange(block.size), best_idx]
+            for entry_i, dist in zip(best_idx, best_dist):
+                if int(dist) <= self.radius:
+                    results.append(
+                        MatchResult(
+                            matched=True,
+                            entry=self._entries[int(entry_i)],
+                            distance=int(dist),
+                        )
+                    )
+                else:
+                    results.append(MatchResult(matched=False, distance=int(dist)))
+        return results
 
     def match(self, pixels: np.ndarray) -> MatchResult:
         """Hash ``pixels`` and match against the list."""

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .bits import hamming_matrix, popcount
 from .photodna import robust_hash
 
 __all__ = ["IndexedCopy", "ReverseImageIndex", "ReverseMatch", "ReverseSearchReport"]
@@ -111,7 +112,45 @@ class ReverseImageIndex:
         if not self._hashes:
             return ReverseSearchReport(query_hash=query_hash, matches=())
         hashes = self._array()
-        distances = np.bitwise_count(hashes ^ np.uint64(query_hash))
+        distances = popcount(hashes ^ np.uint64(query_hash))
+        return self._report_from_distances(query_hash, distances, max_results)
+
+    def search_hashes(
+        self,
+        query_hashes: Sequence[int],
+        max_results: Optional[int] = None,
+        chunk_size: int = 1024,
+    ) -> List[ReverseSearchReport]:
+        """Batched reverse search: one report per query hash.
+
+        Equivalent to ``[self.search_hash(h) for h in query_hashes]``
+        but computes whole query×index Hamming blocks at once
+        (``chunk_size`` rows per block bounds the matrix memory).
+        """
+        queries = np.asarray(list(query_hashes), dtype=np.uint64)
+        if queries.size == 0:
+            return []
+        if not self._hashes:
+            return [
+                ReverseSearchReport(query_hash=int(q), matches=()) for q in queries
+            ]
+        hashes = self._array()
+        reports: List[ReverseSearchReport] = []
+        for start in range(0, queries.size, chunk_size):
+            block = queries[start : start + chunk_size]
+            distances = hamming_matrix(block, hashes)
+            for row, query in enumerate(block):
+                reports.append(
+                    self._report_from_distances(int(query), distances[row], max_results)
+                )
+        return reports
+
+    def _report_from_distances(
+        self,
+        query_hash: int,
+        distances: np.ndarray,
+        max_results: Optional[int],
+    ) -> ReverseSearchReport:
         hit_indices = np.flatnonzero(distances <= self.radius)
         order = hit_indices[np.argsort(distances[hit_indices], kind="stable")]
         if max_results is not None:

@@ -56,6 +56,17 @@ class TestPipelineReport:
         for thread in report.selection[:200]:
             assert thread.author_id in metrics
 
+    def test_vision_cache_recorded_and_used(self, report):
+        """The shared VisionCache must see cross-stage reuse."""
+        stats = report.vision_cache_stats
+        assert stats is not None
+        assert stats.n_entries > 0
+        # NSFV previews are re-queried by provenance (§4.5), so at least
+        # those lookups must be served from cache.
+        assert stats.hits > 0
+        assert 0.0 < stats.hit_rate <= 1.0
+        assert "hits=" in stats.summary()
+
 
 class TestOracleDiscipline:
     def test_pipeline_runs_without_world_ground_truth(self, world):
