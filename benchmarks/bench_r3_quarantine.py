@@ -1,0 +1,153 @@
+"""R3 — robustness study: payload corruption, validation overhead, quarantine.
+
+Two questions, one gate each:
+
+1. **What does the ingest validation boundary cost on a clean crawl?**
+   The §4.2 crawl is timed with ``validate_payloads`` on and off (pixels
+   dropped between rounds so each round pays the full render+ingest
+   cost).  Acceptance: overhead **< 5%**.
+2. **Does the quarantine ledger account for every injected corruption?**
+   The crawl is re-run under the ``dirty`` and ``hostile`` payload
+   profiles; the ledger's record count must equal the injector's event
+   count exactly, for every profile (the chaos-suite invariant, measured
+   here at benchmark scale).
+
+Emits ``benchmarks/results/BENCH_quarantine.json`` (CI artifact) plus
+the human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.quarantine import Quarantine
+from repro.web import Crawler, PayloadFaultInjector, payload_profile
+
+from _common import BENCH_SCALE, BENCH_SEED, scale_note
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PROFILES = ("dirty", "hostile")
+PAYLOAD_SEED = 29
+REPEATS = 5
+OVERHEAD_TARGET = 0.05
+
+
+def _drop_pixels(result) -> None:
+    """Release every raster the crawl rendered, so the next timed round
+    pays the full render + ingest cost again."""
+    for crawled in result.all_images:
+        crawled.image.drop_pixels()
+
+
+def _time_crawl(internet, links, validate: bool) -> float:
+    """Best-of-``REPEATS`` wall time of a clean, fully rendering crawl."""
+    crawler = Crawler(internet, validate_payloads=validate)
+    best = float("inf")
+    result = crawler.crawl(links)  # warm-up (also primes any lazy imports)
+    _drop_pixels(result)
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = crawler.crawl(links)
+        best = min(best, time.perf_counter() - start)
+        _drop_pixels(result)
+    return best
+
+
+def test_r3_quarantine(bench_world, bench_report, benchmark, emit):
+    internet = bench_world.internet
+    links = bench_report.links.all_links
+    assert internet.payload_injector is None  # clean benchmark world
+
+    # ---- gate 1: clean-path validation overhead ----------------------
+    t_off = _time_crawl(internet, links, validate=False)
+    t_on = _time_crawl(internet, links, validate=True)
+    overhead = t_on / t_off - 1.0
+    benchmark.pedantic(
+        lambda: _drop_pixels(Crawler(internet).crawl(links)),
+        rounds=1,
+        iterations=1,
+    )
+
+    # ---- gate 2: ledger completeness under corruption ----------------
+    profile_stats = {}
+    try:
+        for name in PROFILES:
+            injector = PayloadFaultInjector(payload_profile(name), seed=PAYLOAD_SEED)
+            internet.set_payload_injector(injector)
+            ledger = Quarantine()
+            result = Crawler(internet).crawl(links, quarantine=ledger)
+            _drop_pixels(result)
+            profile_stats[name] = {
+                "injected": injector.n_injected,
+                "quarantined": len(ledger),
+                "by_kind": dict(sorted(injector.by_kind.items())),
+                "by_error": dict(sorted(ledger.by_error().items())),
+                "clean_images": len(result.all_images),
+            }
+    finally:
+        internet.set_payload_injector(None)
+
+    payload = {
+        "config": {
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "payload_seed": PAYLOAD_SEED,
+            "n_links": len(links),
+            "repeats": REPEATS,
+        },
+        "clean_crawl_seconds": {
+            "validate_off": round(t_off, 4),
+            "validate_on": round(t_on, 4),
+        },
+        "validation_overhead": round(overhead, 4),
+        "overhead_target": OVERHEAD_TARGET,
+        "profiles": profile_stats,
+        "ledger_complete": all(
+            s["injected"] == s["quarantined"] for s in profile_stats.values()
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_quarantine.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "R3 — payload corruption, ingest validation, quarantine " + scale_note(),
+        f"links crawled        : {len(links)}",
+        f"clean crawl          : validate off {t_off:.3f}s / on {t_on:.3f}s "
+        f"(best of {REPEATS})",
+        f"validation overhead  : {overhead:+.2%} (target < {OVERHEAD_TARGET:.0%})",
+        "",
+        f"{'profile':<10}{'injected':>10}{'quarantined':>13}{'clean imgs':>12}",
+    ]
+    for name, stats in profile_stats.items():
+        lines.append(
+            f"{name:<10}{stats['injected']:>10}{stats['quarantined']:>13}"
+            f"{stats['clean_images']:>12}"
+        )
+    lines += [
+        "",
+        "invariant: every corruption event the injector served is exactly",
+        "one quarantine record — nothing lost, nothing double-counted.",
+    ]
+    emit("BENCH_quarantine", "\n".join(lines))
+
+    # Acceptance gates.
+    assert overhead < OVERHEAD_TARGET, (
+        f"ingest validation costs {overhead:.1%} on the clean path "
+        f"(target < {OVERHEAD_TARGET:.0%})"
+    )
+    for name, stats in profile_stats.items():
+        assert stats["injected"] == stats["quarantined"], (
+            f"profile {name}: {stats['injected']} corruptions injected but "
+            f"{stats['quarantined']} quarantined"
+        )
+        assert stats["injected"] > 0, f"profile {name} never fired"
+    # More corruption can only shrink the surviving image set.
+    assert (
+        profile_stats["hostile"]["clean_images"]
+        <= profile_stats["dirty"]["clean_images"]
+    )

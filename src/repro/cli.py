@@ -13,6 +13,7 @@ Examples::
     repro run --seed 7 --scale 0.02
     repro run --fault-profile flaky --resume          # unreliable network, resumable crawl
     repro run --fault-profile hostile --lenient       # degrade instead of aborting
+    repro run --payload-profile hostile               # corrupt payloads, quarantined per record
     repro build --seed 11 --scale 0.05 --out world.jsonl
     repro tables --seed 11 --scale 0.05 --out results/
 """
@@ -27,6 +28,7 @@ from typing import Optional, Sequence
 
 from . import build_world, run_pipeline
 from .web.faults import FAULT_PROFILES
+from .web.payload_faults import PAYLOAD_PROFILES
 from .core.report_text import (
     render_digest,
     render_earnings,
@@ -68,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-profile", choices=sorted(FAULT_PROFILES), default=None,
         help="inject transient fetch faults (timeouts/rate limits/5xx) "
              "from this named profile",
+    )
+    p_run.add_argument(
+        "--payload-profile", choices=sorted(PAYLOAD_PROFILES), default=None,
+        help="serve corrupt payloads (truncated/NaN/decoy/... rasters) "
+             "from this named profile; poison records are quarantined "
+             "per record, never allowed to poison the measurement",
     )
     p_run.add_argument(
         "--resume", type=Path, nargs="?", const=Path("crawl.checkpoint.json"),
@@ -132,11 +140,20 @@ def _resilience_summary(report) -> str:
             if outcome.status == "failed" and outcome.failure is not None:
                 lines.append(f"FAILED  {outcome.failure.summary()}")
             elif outcome.status == "skipped":
-                lines.append(
-                    f"skipped {outcome.stage} (requires {outcome.skipped_due_to})"
-                )
+                line = f"skipped {outcome.stage} (requires {outcome.skipped_due_to}"
+                if (
+                    outcome.root_cause is not None
+                    and outcome.root_cause != outcome.skipped_due_to
+                ):
+                    line += f"; root cause {outcome.root_cause}"
+                lines.append(line + ")")
             else:
                 lines.append(f"ok      {outcome.stage} [{outcome.elapsed:.2f}s]")
+    lines.append("-- quarantine --")
+    if report.quarantine is not None:
+        lines.extend(report.quarantine.summary_lines())
+    else:
+        lines.append("no quarantine ledger recorded")
     lines.append("-- vision cache --")
     if report.vision_cache_stats is not None:
         lines.append(report.vision_cache_stats.summary())
@@ -149,13 +166,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     fault_profile = getattr(args, "fault_profile", None)
+    payload_profile = getattr(args, "payload_profile", None)
     profile_note = f", fault_profile={fault_profile}" if fault_profile else ""
+    if payload_profile:
+        profile_note += f", payload_profile={payload_profile}"
     print(
         f"building world (seed={args.seed}, scale={args.scale}{profile_note}) ...",
         file=sys.stderr,
     )
     start = time.time()
-    world = build_world(seed=args.seed, scale=args.scale, fault_profile=fault_profile)
+    world = build_world(
+        seed=args.seed,
+        scale=args.scale,
+        fault_profile=fault_profile,
+        payload_profile=payload_profile,
+    )
     print(f"  {world.dataset} [{time.time() - start:.1f}s]", file=sys.stderr)
 
     if args.command == "build":

@@ -62,6 +62,7 @@ from .keywords import (
 )
 from .nsfv import NsfvClassifier, NsfvVerdict
 from .pipeline import EwhoringPipeline, PipelineReport
+from .quarantine import Quarantine, QuarantineRecord
 from .provenance import (
     PackSampling,
     ProvenanceAnalyzer,
@@ -107,6 +108,8 @@ __all__ = [
     "ProofRecord",
     "ProvenanceAnalyzer",
     "ProvenanceResult",
+    "Quarantine",
+    "QuarantineRecord",
     "QueryOutcome",
     "REQUEST_KEYWORDS",
     "ReverseSearchSummary",

@@ -30,6 +30,7 @@ from ..vision.photodna import (
 )
 from ..vision.reverse_search import ReverseImageIndex
 from ..web.crawler import CrawledImage
+from .quarantine import Quarantine
 
 __all__ = ["AbuseFilterResult", "AbuseFilter"]
 
@@ -55,10 +56,16 @@ class AbuseFilterResult:
     #: Actors who replied in those threads (exposure lower bound).
     exposed_actor_ids: Set[int]
     report_log: ReportLog
+    #: Digests whose payload failed validation at this stage's boundary
+    #: (defence in depth behind crawler ingest); excluded downstream.
+    quarantined_digests: Set[str] = field(default_factory=set)
 
     def is_clean(self, crawled: CrawledImage) -> bool:
-        """True when an image survived the filter."""
-        return crawled.digest not in self.matched_digests
+        """True when an image survived the filter (and was not poison)."""
+        return (
+            crawled.digest not in self.matched_digests
+            and crawled.digest not in self.quarantined_digests
+        )
 
 
 class AbuseFilter:
@@ -81,6 +88,7 @@ class AbuseFilter:
         self,
         images: Sequence[CrawledImage],
         dataset: Optional[ForumDataset] = None,
+        quarantine: Optional[Quarantine] = None,
     ) -> AbuseFilterResult:
         """Match all images; report and delete the hits.
 
@@ -91,6 +99,13 @@ class AbuseFilter:
         is hashed exactly once (through the batched vision engine, and
         through the shared :class:`VisionCache` when one is attached),
         no matter how many crawled copies carry the same digest.
+
+        When a ``quarantine`` ledger is supplied, every representative
+        raster crosses a validation boundary before hashing: poison that
+        somehow bypassed crawler ingest is admitted to the ledger under
+        ``"abuse_filter"`` and its digest excluded from the sweep (and,
+        via :meth:`AbuseFilterResult.is_clean`, from every later stage)
+        instead of corrupting the batched hash kernel.
         """
         log = ReportLog()
         matched_digests: Set[str] = set()
@@ -102,6 +117,17 @@ class AbuseFilter:
         for crawled in images:
             representatives.setdefault(crawled.digest, crawled)
         digests = list(representatives)
+        quarantined_digests: Set[str] = set()
+        if quarantine is not None:
+            survivors = quarantine.filter_rasters(
+                "abuse_filter",
+                digests,
+                ref=lambda d: d,
+                raster=lambda d: representatives[d].image.pixels,
+                context=lambda d: {"link_kind": representatives[d].link.link_kind},
+            )
+            quarantined_digests = set(digests) - set(survivors)
+            digests = survivors
         hashes = self._hashes_for(representatives, digests)
         matches = self._hashlist.match_hashes(hashes)
         match_by_digest: Dict[str, MatchResult] = dict(zip(digests, matches))
@@ -110,7 +136,9 @@ class AbuseFilter:
         # Pass 2: apply per-copy semantics in crawl order.
         reported_digests: Set[str] = set()
         for crawled in images:
-            match = match_by_digest[crawled.digest]
+            match = match_by_digest.get(crawled.digest)
+            if match is None:  # digest quarantined in pass 1
+                continue
             if not match.matched:
                 continue
             if crawled.link.thread_id is not None:
@@ -143,6 +171,7 @@ class AbuseFilter:
             affected_thread_ids=affected_threads,
             exposed_actor_ids=exposed,
             report_log=log,
+            quarantined_digests=quarantined_digests,
         )
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ from ..web.sites import ServiceKind, service_by_domain
 from ..web.url import extract_urls
 from .keywords import EARNINGS_HEADING_TERMS, TRADE_KEYWORDS
 from .nsfv import NsfvClassifier
+from .quarantine import Quarantine
 
 __all__ = [
     "CurrencyExchangeTable",
@@ -166,6 +167,7 @@ class EarningsAnalyzer:
         annotator: AnnotatorFn,
         nsfv: Optional[NsfvClassifier] = None,
         rates: Optional[HistoricalRates] = None,
+        quarantine: Optional[Quarantine] = None,
     ):
         self._dataset = dataset
         self._internet = internet
@@ -173,6 +175,7 @@ class EarningsAnalyzer:
         self._annotator = annotator
         self._nsfv = nsfv if nsfv is not None else NsfvClassifier()
         self._rates = rates if rates is not None else HistoricalRates()
+        self._quarantine = quarantine
 
     # ------------------------------------------------------------------
     def analyze(self, selection: Optional[Sequence[Thread]] = None) -> EarningsResult:
@@ -182,7 +185,10 @@ class EarningsAnalyzer:
         posts_with_links, links = self._collect_links(threads, earning_threads)
 
         crawler = Crawler(self._internet)
-        crawl = crawler.crawl(links)
+        # Corrupt payloads are excised at the crawler's ingest boundary
+        # (into the shared ledger when one is attached, a private one
+        # otherwise) — never into the safety loop below.
+        crawl = crawler.crawl(links, quarantine=self._quarantine, stage="earnings")
         downloaded = crawl.preview_images  # image-sharing links only
 
         n_abuse = 0
@@ -192,13 +198,25 @@ class EarningsAnalyzer:
         for crawled in downloaded:
             if crawled.digest in seen_abuse_digests:
                 continue
-            match = self._hashlist.match_hash(robust_hash(crawled.image.pixels))
-            if match.matched:
-                n_abuse += 1
-                seen_abuse_digests.add(crawled.digest)
-                crawled.image.drop_pixels()
+            try:
+                match = self._hashlist.match_hash(robust_hash(crawled.image.pixels))
+                if match.matched:
+                    n_abuse += 1
+                    seen_abuse_digests.add(crawled.digest)
+                    crawled.image.drop_pixels()
+                    continue
+                verdict = self._nsfv.classify(crawled.image.pixels)
+            except Exception as exc:
+                # Defence in depth behind the ingest boundary: a record
+                # that still manages to poison the safety checks is
+                # excised, not allowed to abort the earnings pipeline.
+                if self._quarantine is None:
+                    raise
+                self._quarantine.admit(
+                    "earnings", crawled.digest, exc,
+                    {"image_id": crawled.image.image_id},
+                )
                 continue
-            verdict = self._nsfv.classify(crawled.image.pixels)
             if verdict.nsfv:
                 n_indecent += 1
                 crawled.image.drop_pixels()

@@ -47,6 +47,7 @@ from ..web.crawler import CrawlResult, CrawledImage, Crawler
 from ..web.internet import SimulatedInternet
 from ..web.retry import RetryPolicy
 from .abuse_filter import AbuseFilter, AbuseFilterResult
+from .quarantine import Quarantine
 from .stage_runner import StageFailure, StageOutcome, StageRunner
 from .actors import (
     ActorAnalyzer,
@@ -128,6 +129,15 @@ class PipelineReport:
     #: Hit/miss/evict counters of the run's shared :class:`VisionCache`.
     vision_cache_stats: Optional[VisionCacheStats] = None
 
+    #: The run's shared record-level fault ledger (see DESIGN.md §8):
+    #: every payload excised at a per-record boundary, across stages.
+    quarantine: Optional[Quarantine] = None
+
+    @property
+    def n_quarantined(self) -> int:
+        """Total records excised across all stages of this run."""
+        return len(self.quarantine) if self.quarantine is not None else 0
+
     @property
     def nsfv_previews(self) -> List[CrawledImage]:
         """Previews classified Not-Safe-For-Viewing (model images)."""
@@ -202,6 +212,9 @@ class EwhoringPipeline:
         benchmarks use this to force failures).
         """
         runner = StageRunner(strict=strict, hooks=stage_hooks)
+        #: One ledger per run: every stage's record-level boundary admits
+        #: poison records here, and the report carries it out.
+        quarantine = Quarantine()
         selection = ewhoring_threads(self.dataset)
         summaries = forum_summaries(self.dataset, selection)
 
@@ -229,7 +242,12 @@ class EwhoringPipeline:
         def _stage_crawl():
             links = extract_links(self.dataset, tops)
             crawler = Crawler(self.internet, retry_policy=self.retry_policy)
-            return links, crawler.crawl(links.all_links, checkpoint=checkpoint)
+            return links, crawler.crawl(
+                links.all_links,
+                checkpoint=checkpoint,
+                quarantine=quarantine,
+                stage="url_crawl",
+            )
 
         crawl_out, _ = runner.run(
             "url_crawl",
@@ -247,7 +265,9 @@ class EwhoringPipeline:
                 domain_info=self._domain_info,
                 cache=self.vision_cache,
             )
-            abuse = abuse_filter.sweep(crawl.all_images, dataset=self.dataset)
+            abuse = abuse_filter.sweep(
+                crawl.all_images, dataset=self.dataset, quarantine=quarantine
+            )
             clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
             clean_pack_images = [c for c in crawl.pack_images if abuse.is_clean(c)]
             return abuse, clean_previews, clean_pack_images
@@ -264,12 +284,21 @@ class EwhoringPipeline:
 
         # ---- stage 4: NSFV classification ---------------------------
         def _stage_nsfv():
+            # Record-level boundary: previews whose raster fails
+            # validation are excised into the ledger; the batch kernel
+            # only ever sees clean rasters.
+            previews = quarantine.filter_rasters(
+                "nsfv",
+                clean_previews,
+                ref=lambda c: c.digest,
+                raster=lambda c: c.image.pixels,
+            )
             verdicts = self.nsfv.classify_batch(
-                [c.image.pixels for c in clean_previews],
-                digests=[c.digest for c in clean_previews],
+                [c.image.pixels for c in previews],
+                digests=[c.digest for c in previews],
                 cache=self.vision_cache,
             )
-            preview_verdicts = list(zip(clean_previews, verdicts))
+            preview_verdicts = list(zip(previews, verdicts))
             return preview_verdicts, [c for c, v in preview_verdicts if v.nsfv]
 
         nsfv_out, _ = runner.run(
@@ -290,7 +319,7 @@ class EwhoringPipeline:
                 classifiers=self.classifiers,
                 category_lookup=self.category_lookup,
                 cache=self.vision_cache,
-            ).analyze(clean_pack_images, nsfv_previews)
+            ).analyze(clean_pack_images, nsfv_previews, quarantine=quarantine)
 
         provenance, _ = runner.run(
             "provenance",
@@ -312,6 +341,7 @@ class EwhoringPipeline:
                 self.hashlist,
                 annotator=proof_oracle,
                 nsfv=self.nsfv,
+                quarantine=quarantine,
             ).analyze(selection)
             ce_table = currency_exchange_table(
                 self.dataset, min_ewhoring_posts=min_ce_posts, selection=selection
@@ -378,6 +408,7 @@ class EwhoringPipeline:
             stage_outcomes=list(runner.outcomes),
             stage_failures=list(runner.failures),
             vision_cache_stats=self.vision_cache.stats(),
+            quarantine=quarantine,
         )
 
     # ------------------------------------------------------------------

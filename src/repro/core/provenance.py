@@ -29,6 +29,7 @@ from ..vision.photodna import robust_hash
 from ..vision.reverse_search import ReverseImageIndex, ReverseSearchReport
 from ..web.archive import WaybackArchive
 from ..web.crawler import CrawledImage
+from .quarantine import Quarantine
 
 __all__ = [
     "PackSampling",
@@ -139,11 +140,34 @@ class ProvenanceAnalyzer:
         self,
         pack_images: Sequence[CrawledImage],
         preview_images: Sequence[CrawledImage],
+        quarantine: Optional[Quarantine] = None,
     ) -> ProvenanceResult:
-        """Reverse-search sampled pack images and all previews."""
+        """Reverse-search sampled pack images and all previews.
+
+        With a ``quarantine`` ledger attached, inputs first cross a
+        raster-validation boundary (poison that survived the upstream
+        stages is excised under ``"provenance"``) and each reverse-search
+        query runs inside a per-record error boundary, so one bad record
+        costs exactly one query, never the stage.
+        """
+        if quarantine is not None:
+            pack_images = quarantine.filter_rasters(
+                "provenance",
+                pack_images,
+                ref=lambda c: c.digest,
+                raster=lambda c: c.image.pixels,
+                context=lambda c: {"group": "packs", "pack_id": c.pack_id},
+            )
+            preview_images = quarantine.filter_rasters(
+                "provenance",
+                preview_images,
+                ref=lambda c: c.digest,
+                raster=lambda c: c.image.pixels,
+                context=lambda c: {"group": "previews"},
+            )
         sampled = self._sample_packs(pack_images)
-        pack_outcomes = [self._query(c) for c in sampled]
-        preview_outcomes = [self._query(c) for c in preview_images]
+        pack_outcomes = self._query_all(sampled, quarantine, "packs")
+        preview_outcomes = self._query_all(preview_images, quarantine, "previews")
 
         zero_match: Set[int] = set()
         per_pack_matches: Dict[int, List[int]] = {}
@@ -211,6 +235,24 @@ class ProvenanceAnalyzer:
                 lambda: self._scorer.score(crawled.image.pixels),
             )
         )
+
+    def _query_all(
+        self,
+        images: Sequence[CrawledImage],
+        quarantine: Optional[Quarantine],
+        group: str,
+    ) -> List[QueryOutcome]:
+        """Query every image; per-record boundary when a ledger is attached."""
+        if quarantine is None:
+            return [self._query(c) for c in images]
+        outcomes: List[QueryOutcome] = []
+        for crawled in images:
+            with quarantine.guard(
+                "provenance", crawled.digest,
+                {"group": group, "pack_id": crawled.pack_id},
+            ):
+                outcomes.append(self._query(crawled))
+        return outcomes
 
     def _query(self, crawled: CrawledImage) -> QueryOutcome:
         if self._cache is None:

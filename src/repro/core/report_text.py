@@ -150,4 +150,7 @@ def render_digest(report: PipelineReport) -> str:
         "",
         f"key actors: {report.key_actors.n_key_actors}",
     ]
+    if report.quarantine is not None and len(report.quarantine):
+        sections.extend(["", "== quarantine (record-level faults) =="])
+        sections.extend(report.quarantine.summary_lines())
     return "\n".join(sections)

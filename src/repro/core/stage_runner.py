@@ -59,8 +59,12 @@ class StageOutcome:
     status: str  # "ok" | "failed" | "skipped"
     elapsed: float = 0.0
     failure: Optional[StageFailure] = None
-    #: For skipped stages: the failed/skipped dependency that caused it.
+    #: For skipped stages: the *direct* dependency that caused the skip.
     skipped_due_to: Optional[str] = None
+    #: For skipped stages: the transitively-failed stage at the root of
+    #: the skip chain (equals ``skipped_due_to`` when the direct
+    #: dependency itself failed).
+    root_cause: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -110,7 +114,12 @@ class StageRunner:
                 root = self._bad[dep]
                 self._bad[stage] = root
                 self.outcomes.append(
-                    StageOutcome(stage=stage, status="skipped", skipped_due_to=dep)
+                    StageOutcome(
+                        stage=stage,
+                        status="skipped",
+                        skipped_due_to=dep,
+                        root_cause=root,
+                    )
                 )
                 return None, False
 
@@ -120,7 +129,7 @@ class StageRunner:
             if hook is not None:
                 hook()
             value = fn()
-        except Exception as exc:
+        except BaseException as exc:
             elapsed = time.perf_counter() - start
             failure = StageFailure(
                 stage=stage,
@@ -135,7 +144,11 @@ class StageRunner:
                 StageOutcome(stage=stage, status="failed", elapsed=elapsed, failure=failure)
             )
             self._bad[stage] = stage
-            if self.strict:
+            # Non-``Exception`` errors (KeyboardInterrupt, SystemExit, a
+            # hook raising GeneratorExit...) are *recorded* for the
+            # post-mortem but always re-raised: lenient mode degrades on
+            # stage crashes, it does not swallow operator aborts.
+            if self.strict or not isinstance(exc, Exception):
                 raise
             return None, False
 
@@ -153,7 +166,11 @@ class StageRunner:
             if outcome.status == "failed" and outcome.failure is not None:
                 lines.append(f"FAILED  {outcome.failure.summary()}")
             elif outcome.status == "skipped":
-                lines.append(
-                    f"skipped {outcome.stage} (requires {outcome.skipped_due_to})"
-                )
+                line = f"skipped {outcome.stage} (requires {outcome.skipped_due_to}"
+                if (
+                    outcome.root_cause is not None
+                    and outcome.root_cause != outcome.skipped_due_to
+                ):
+                    line += f"; root cause {outcome.root_cause}"
+                lines.append(line + ")")
         return lines

@@ -1,4 +1,9 @@
-"""Synthetic image substrate: latents, rendering, transforms, packs."""
+"""Synthetic image substrate: latents, rendering, transforms, packs.
+
+:mod:`~repro.media.validate` is the raster-validation boundary: typed
+:class:`CorruptPayloadError` subclasses that downstream quarantine
+ledgers record per poisoned record.
+"""
 
 from .image import (
     DEFAULT_SIZE,
@@ -16,20 +21,50 @@ from .transforms import (
     register_transform,
     transform_names,
 )
+from .validate import (
+    MAX_RASTER_DIM,
+    MAX_RASTER_PIXELS,
+    MIN_RASTER_DIM,
+    AbsurdDimensionError,
+    CorruptPayloadError,
+    DecoyPayloadError,
+    EmptyPayloadError,
+    NonFinitePixelError,
+    TruncatedRasterError,
+    UnexpectedResourceError,
+    WrongDtypeError,
+    WrongShapeError,
+    ensure_color_raster,
+    validate_raster,
+)
 
 __all__ = [
+    "AbsurdDimensionError",
+    "CorruptPayloadError",
     "DEFAULT_SIZE",
+    "DecoyPayloadError",
     "EVASION_TRANSFORMS",
+    "EmptyPayloadError",
     "ImageKind",
     "ImageLatent",
+    "MAX_RASTER_DIM",
+    "MAX_RASTER_PIXELS",
+    "MIN_RASTER_DIM",
+    "NonFinitePixelError",
     "PLATFORM_TRANSFORMS",
     "Pack",
     "SyntheticImage",
+    "TruncatedRasterError",
+    "UnexpectedResourceError",
+    "WrongDtypeError",
+    "WrongShapeError",
     "apply_transform",
+    "ensure_color_raster",
     "pack_stage_mix",
     "register_transform",
     "render_latent",
     "sample_latent",
     "skin_tone_for_model",
     "transform_names",
+    "validate_raster",
 ]

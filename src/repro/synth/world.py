@@ -34,6 +34,7 @@ from ..vision.reverse_search import IndexedCopy, ReverseImageIndex
 from ..web.archive import WaybackArchive
 from ..web.faults import FaultInjector, fault_profile
 from ..web.internet import SimulatedInternet
+from ..web.payload_faults import PayloadFaultInjector, payload_profile
 from ..vision.photodna import robust_hash
 from .forum_gen import (
     DATASET_END,
@@ -85,12 +86,20 @@ class WorldConfig:
     #: ``None`` for a perfectly reliable network.  Fault draws use their
     #: own seed stream, so world *content* is identical across profiles.
     fault_profile: Optional[str] = None
+    #: Named corrupt-payload profile (see :data:`repro.web.payload_faults.
+    #: PAYLOAD_PROFILES`) applied to OK fetches, or ``None`` for pristine
+    #: payloads.  Corruption wraps fetched views only — hosted content is
+    #: never mutated — and uses its own seed stream, so world *content*
+    #: is identical across profiles.
+    payload_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0 or self.scale > 2.0:
             raise ValueError("scale must be in (0, 2]")
         if self.fault_profile is not None:
             fault_profile(self.fault_profile)  # validate the name eagerly
+        if self.payload_profile is not None:
+            payload_profile(self.payload_profile)  # validate the name eagerly
 
 
 @dataclass
@@ -130,6 +139,13 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
     if config.fault_profile is not None:
         internet.set_fault_injector(
             FaultInjector(fault_profile(config.fault_profile), seed=tree.seed("faults"))
+        )
+    if config.payload_profile is not None:
+        internet.set_payload_injector(
+            PayloadFaultInjector(
+                payload_profile(config.payload_profile),
+                seed=tree.seed("payload_faults"),
+            )
         )
     archive = WaybackArchive(
         seed=tree.seed("archive"), coverage=config.archive_coverage

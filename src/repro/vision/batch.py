@@ -30,6 +30,12 @@ from typing import List, Sequence
 import numpy as np
 from scipy import fft as scipy_fft
 
+from ..media.validate import (
+    DecoyPayloadError,
+    EmptyPayloadError,
+    NonFinitePixelError,
+    WrongShapeError,
+)
 from .bits import hamming_matrix, pack_bits_rows, popcount
 from .photodna import _HASH_GRID, _resize_axis, _to_grayscale, robust_hash
 
@@ -46,6 +52,31 @@ __all__ = [
 #: images, bounding the transient full-resolution stack memory and
 #: keeping each chunk L2/L3-resident across the grayscale passes.
 _STACK_CHUNK = 64
+
+
+def _guard_raster(raster, index: int) -> None:
+    """Cheap structural defence for one batch member.
+
+    Metadata-only checks (type, rank, emptiness) so the clean hot path
+    stays O(1) per image: a decoy payload or a wrong-rank raster in a
+    batch raises the typed corrupt-payload taxonomy *before* it can
+    poison the shared thumbnail stack.  Pixel-value poison (NaN/Inf) is
+    caught after thumbnailing — see :func:`hash_batch` — where a full
+    scan costs 32×32 floats per image instead of H×W.
+    """
+    arr = raster if isinstance(raster, np.ndarray) else np.asarray(raster)
+    if arr.dtype == object or arr.ndim == 0:
+        raise DecoyPayloadError(
+            f"batch item {index} is not an image raster: "
+            f"{type(raster).__name__}"
+        )
+    if arr.ndim not in (2, 3):
+        raise WrongShapeError(
+            f"batch item {index} is not a 2-D or H×W×C raster: "
+            f"ndim={arr.ndim}"
+        )
+    if arr.size == 0:
+        raise EmptyPayloadError(f"batch item {index} is an empty raster")
 
 
 def _thumbnail(raster: np.ndarray) -> np.ndarray:
@@ -67,6 +98,8 @@ def prepare_thumbnails(rasters: Sequence[np.ndarray]) -> np.ndarray:
     thumbs = np.empty((n, _HASH_GRID, _HASH_GRID), dtype=np.float64)
     if n == 0:
         return thumbs
+    for i, raster in enumerate(items):
+        _guard_raster(raster, i)
     first_shape = np.shape(items[0])
     uniform = len(first_shape) in (2, 3) and all(
         np.shape(r) == first_shape for r in items
@@ -141,6 +174,13 @@ def hash_batch(rasters: Sequence[np.ndarray]) -> np.ndarray:
     n = thumbs.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.uint64)
+    finite = np.isfinite(thumbs.reshape(n, -1)).all(axis=1)
+    if not bool(finite.all()):
+        bad = np.flatnonzero(~finite)
+        raise NonFinitePixelError(
+            "non-finite hash thumbnails (NaN/Inf pixels) for batch items "
+            f"{bad[:8].tolist()}{'...' if bad.size > 8 else ''}"
+        )
     spectra = scipy_fft.dctn(thumbs, axes=(1, 2), norm="ortho")
     blocks = spectra[:, :8, :8].reshape(n, 64).copy()
     blocks[:, 0] = spectra[:, 8, 8]  # drop the DC term (pure brightness)

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
+from ..media.validate import ensure_color_raster
+
 __all__ = ["NsfwScorer", "nsfw_score", "skin_mask"]
 
 
@@ -30,9 +32,14 @@ def skin_mask(pixels: np.ndarray) -> np.ndarray:
     red–blue gap and mid-to-high brightness.  This is the classic
     rule-based skin detector family; it has the same known failure modes
     (sand, wood, beige walls) as the originals.
+
+    Defensive kernel contract: the raster passes through
+    :func:`~repro.media.validate.ensure_color_raster`, so decoys, wrong
+    ranks and NaN/Inf poison fail loudly with the typed corrupt-payload
+    taxonomy (still a :class:`ValueError`) instead of producing a silent
+    garbage score.
     """
-    if pixels.ndim != 3 or pixels.shape[2] != 3:
-        raise ValueError("pixels must be an H×W×3 array")
+    ensure_color_raster(pixels)
     red = pixels[..., 0]
     green = pixels[..., 1]
     blue = pixels[..., 2]

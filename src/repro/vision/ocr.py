@@ -23,6 +23,8 @@ from typing import List, Tuple
 import numpy as np
 from scipy import ndimage
 
+from ..media.validate import ensure_color_raster
+
 __all__ = ["OcrEngine", "WordBox", "ocr_word_count"]
 
 
@@ -66,9 +68,13 @@ class OcrEngine:
     min_fill: float = 0.75
 
     def find_words(self, pixels: np.ndarray) -> List[WordBox]:
-        """Return bounding boxes of word-like components."""
-        if pixels.ndim != 3 or pixels.shape[2] != 3:
-            raise ValueError("pixels must be an H×W×3 array")
+        """Return bounding boxes of word-like components.
+
+        The raster is checked through :func:`~repro.media.validate.
+        ensure_color_raster`, so poison payloads surface as the typed
+        corrupt-payload taxonomy rather than a shape error inside scipy.
+        """
+        ensure_color_raster(pixels)
         luminance = pixels.mean(axis=2)
         background = float(np.median(luminance))
         ink = np.abs(luminance - background) > self.ink_threshold

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import fft as scipy_fft
 
+from ..media.validate import NonFinitePixelError
 from .bits import pack_bits_rows, popcount
 
 __all__ = [
@@ -109,6 +110,10 @@ def robust_hash(pixels: np.ndarray) -> int:
     """
     gray = _to_grayscale(np.asarray(pixels, dtype=np.float64))
     small = _block_mean_resize(gray, _HASH_GRID)
+    if not bool(np.isfinite(small).all()):
+        raise NonFinitePixelError(
+            "raster produced a non-finite hash thumbnail (NaN/Inf pixels)"
+        )
     spectrum = scipy_fft.dctn(small, norm="ortho")
     block = spectrum[:8, :8].copy().ravel()
     block[0] = spectrum[8, 8]  # drop the DC term (pure brightness)

@@ -2,8 +2,10 @@
 
 Fault tolerance lives here too: :mod:`~repro.web.faults` injects
 transient fetch failures, :mod:`~repro.web.retry` supplies the retry /
-circuit-breaker discipline, and :mod:`~repro.web.checkpoint` makes
-crawls resumable.
+circuit-breaker discipline, :mod:`~repro.web.checkpoint` makes crawls
+resumable, and :mod:`~repro.web.payload_faults` injects *corrupt
+payloads* (truncated/NaN/decoy rasters) that the crawler's ingest
+validation boundary excises into the quarantine ledger.
 """
 
 from .archive import CrawlRecord, WaybackArchive
@@ -36,6 +38,17 @@ from .internet import (
     OriginSite,
     SimulatedInternet,
 )
+from .payload_faults import (
+    CORRUPTION_KINDS,
+    PAYLOAD_PROFILES,
+    CorruptImage,
+    PayloadFaultInjector,
+    PayloadFaultProfile,
+    PayloadFaultSpec,
+    corrupt_raster,
+    payload_profile,
+    stable_noise_seed,
+)
 from .retry import BreakerBoard, BreakerState, CircuitBreaker, RetryPolicy
 from .sites import (
     CLOUD_STORAGE_SERVICES,
@@ -51,7 +64,9 @@ __all__ = [
     "BreakerBoard",
     "BreakerState",
     "CLOUD_STORAGE_SERVICES",
+    "CORRUPTION_KINDS",
     "CircuitBreaker",
+    "CorruptImage",
     "CrawlCheckpoint",
     "CrawlRecord",
     "CrawlResult",
@@ -71,6 +86,10 @@ __all__ = [
     "LinkAttemptLog",
     "LinkRecord",
     "OriginSite",
+    "PAYLOAD_PROFILES",
+    "PayloadFaultInjector",
+    "PayloadFaultProfile",
+    "PayloadFaultSpec",
     "RetryPolicy",
     "ScriptedFaultInjector",
     "ServiceKind",
@@ -81,11 +100,14 @@ __all__ = [
     "WaybackArchive",
     "all_services",
     "content_digest",
+    "corrupt_raster",
     "extract_urls",
     "fault_profile",
     "link_key",
     "normalize_url",
+    "payload_profile",
     "registrable_domain",
     "service_by_domain",
+    "stable_noise_seed",
     "stable_uniform",
 ]

@@ -31,17 +31,21 @@ attempt and the crawler behaves exactly like the pre-fault version.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from datetime import datetime
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
+from ..media.validate import UnexpectedResourceError, validate_raster
 from .checkpoint import CrawlCheckpoint, link_key
 from .faults import stable_uniform
 from .internet import FetchStatus, SimulatedInternet
 from .retry import BreakerBoard, RetryPolicy
 from .url import Url
+
+if TYPE_CHECKING:  # import cycle: repro.core.quarantine ← repro.web
+    from ..core.quarantine import Quarantine, QuarantineRecord
 
 __all__ = [
     "CrawlResult",
@@ -56,10 +60,17 @@ __all__ = [
 
 
 def content_digest(image: SyntheticImage) -> str:
-    """Exact-content digest of an image's pixels (for file deduplication)."""
+    """Exact-content digest of an image's pixels (for file deduplication).
+
+    The digest covers shape **and dtype** alongside the raw bytes: two
+    rasters whose buffers happen to coincide but whose dtypes differ
+    (e.g. the same 12 bytes viewed as ``float32`` vs ``uint8`` rows) are
+    different files and must not collide in the dedup step.
+    """
     raster = image.pixels
     digest = hashlib.sha1()
     digest.update(str(raster.shape).encode("ascii"))
+    digest.update(raster.dtype.str.encode("ascii"))
     digest.update(raster.tobytes())
     return digest.hexdigest()
 
@@ -230,6 +241,13 @@ class CrawlResult:
     stats: CrawlStats
     #: Attempt histories for links that needed the retry machinery.
     attempt_logs: List[LinkAttemptLog] = field(default_factory=list)
+    #: Records excised at the ingest boundary (corrupt payloads,
+    #: unexpected resources) during *this* crawl.
+    quarantined: List["QuarantineRecord"] = field(default_factory=list)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
 
     @property
     def all_images(self) -> List[CrawledImage]:
@@ -283,6 +301,12 @@ class CrawlResult:
                 )
             ).encode()
         )
+        h.update(b"|")
+        for record in self.quarantined:
+            h.update(record.ref.encode("utf-8"))
+            h.update(b":")
+            h.update(record.error_type.encode("ascii"))
+            h.update(b",")
         return h.hexdigest()
 
 
@@ -293,6 +317,12 @@ class Crawler:
     apply even without faults — they are simply never exercised then);
     ``breaker_threshold``/``breaker_cooldown`` configure the per-domain
     circuit breakers.
+
+    ``validate_payloads`` applies :func:`~repro.media.validate.
+    validate_raster` to every downloaded raster at the ingest boundary;
+    payloads failing the contract are excised into the quarantine ledger
+    instead of entering the measurement.  Disable it only to measure the
+    validation overhead itself (``benchmarks/bench_r3_quarantine.py``).
     """
 
     def __init__(
@@ -302,12 +332,14 @@ class Crawler:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 60.0,
         jitter_seed: int = 0,
+        validate_payloads: bool = True,
     ):
         self._internet = internet
         self._policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
         self._jitter_seed = jitter_seed
+        self._validate_payloads = validate_payloads
 
     # ------------------------------------------------------------------
     def crawl(
@@ -315,6 +347,8 @@ class Crawler:
         links: Sequence[LinkRecord],
         checkpoint: Optional[Union[str, "CrawlCheckpoint"]] = None,
         checkpoint_every: int = 16,
+        quarantine: Optional["Quarantine"] = None,
+        stage: str = "url_crawl",
     ) -> CrawlResult:
         """Crawl all links; OK images are downloaded, OK packs unpacked.
 
@@ -327,8 +361,21 @@ class Crawler:
         their outcome is replayed and, for OK links, their content is
         re-materialized deterministically.  The result of a resumed crawl
         is byte-identical (see :meth:`CrawlResult.digest`) to an
-        uninterrupted one.
+        uninterrupted one — including the quarantine ledger, because
+        payload corruption is a pure function of the URL.
+
+        ``quarantine`` is the ledger poison records are excised into
+        (admitted under ``stage``); when ``None`` a private ledger is
+        created so a bad payload can never abort the crawl loop.  The
+        records admitted by *this* crawl surface as
+        :attr:`CrawlResult.quarantined` either way.
         """
+        if quarantine is None:
+            from ..core.quarantine import Quarantine
+
+            quarantine = Quarantine()
+        quarantine_start = len(quarantine.records)
+
         if checkpoint is None:
             ckpt: Optional[CrawlCheckpoint] = None
         elif isinstance(checkpoint, CrawlCheckpoint):
@@ -369,7 +416,8 @@ class Crawler:
                 entry = ckpt.outcome(key)
                 if entry is not None:
                     self._replay(link, entry, preview_images, pack_images,
-                                 packs, seen_pack_ids, attempt_logs)
+                                 packs, seen_pack_ids, attempt_logs,
+                                 quarantine, stage)
                     continue
             else:
                 key = ""
@@ -382,7 +430,8 @@ class Crawler:
                 attempt_logs.append(log)
             if final_status is FetchStatus.OK:
                 self._collect(link, resource, preview_images,
-                              pack_images, packs, seen_pack_ids)
+                              pack_images, packs, seen_pack_ids,
+                              quarantine, stage)
 
             if ckpt is not None:
                 ckpt.mark(key, final_status.value, final_attempt,
@@ -409,6 +458,7 @@ class Crawler:
             packs=packs,
             stats=stats,
             attempt_logs=attempt_logs,
+            quarantined=list(quarantine.records[quarantine_start:]),
         )
 
     # ------------------------------------------------------------------
@@ -505,12 +555,16 @@ class Crawler:
         packs: List[Pack],
         seen_pack_ids: Dict[int, None],
         attempt_logs: List[LinkAttemptLog],
+        quarantine: "Quarantine",
+        stage: str,
     ) -> None:
         """Re-materialize a checkpointed link outcome without re-crawling.
 
         Stats are *not* re-recorded (the checkpointed stats already count
         this occurrence); OK resources are fetched back at the recorded
-        settling attempt, which is deterministic.
+        settling attempt, which is deterministic.  Quarantine records
+        *are* re-derived — payload corruption is keyed on the URL alone,
+        so the replayed ledger matches the uninterrupted one exactly.
         """
         log_data = entry.get("log")
         if log_data is not None:
@@ -524,35 +578,93 @@ class Crawler:
                 f"{result.status.value}; checkpoint does not match this world"
             )
         self._collect(link, result.resource, preview_images, pack_images,
-                      packs, seen_pack_ids)
+                      packs, seen_pack_ids, quarantine, stage)
 
     # ------------------------------------------------------------------
-    @staticmethod
+    def _ingest(
+        self,
+        link: LinkRecord,
+        image: SyntheticImage,
+        quarantine: "Quarantine",
+        stage: str,
+        pack_id: Optional[int] = None,
+        member_index: Optional[int] = None,
+    ) -> Optional[CrawledImage]:
+        """Validate and digest one downloaded image — the record boundary.
+
+        Returns the :class:`CrawledImage` for clean payloads; corrupt
+        ones (including payloads whose pixel access itself blows up) are
+        admitted to the ledger and ``None`` is returned.  Nothing an
+        individual payload does can escape this boundary as an
+        exception, so one poisoned record can never abort the crawl.
+        """
+        url_str = str(link.url)
+        context: Dict[str, object] = {"link_kind": link.link_kind}
+        if pack_id is not None:
+            context["pack_id"] = pack_id
+        if member_index is not None:
+            context["member_index"] = member_index
+        try:
+            pixels = image.pixels
+            if self._validate_payloads:
+                validate_raster(pixels, context=url_str)
+            return CrawledImage(
+                image=image,
+                digest=content_digest(image),
+                link=link,
+                pack_id=pack_id,
+            )
+        except Exception as exc:
+            quarantine.admit(stage, url_str, exc, context)
+            return None
+
     def _collect(
+        self,
         link: LinkRecord,
         resource,
         preview_images: List[CrawledImage],
         pack_images: List[CrawledImage],
         packs: List[Pack],
         seen_pack_ids: Dict[int, None],
+        quarantine: "Quarantine",
+        stage: str,
     ) -> None:
-        """Download one OK resource into the result accumulators."""
+        """Download one OK resource into the result accumulators.
+
+        Every record passes through the :meth:`_ingest` boundary; pack
+        archives are collected member-by-member, and a pack whose members
+        were partially excised enters the result with only its clean
+        members.  An unexpected resource type is itself a quarantined
+        per-record outcome (:class:`UnexpectedResourceError`), not a
+        crawl-aborting crash.
+        """
         if isinstance(resource, SyntheticImage):
-            preview_images.append(
-                CrawledImage(image=resource, digest=content_digest(resource), link=link)
-            )
+            crawled = self._ingest(link, resource, quarantine, stage)
+            if crawled is not None:
+                preview_images.append(crawled)
         elif isinstance(resource, Pack):
-            if resource.pack_id not in seen_pack_ids:
-                seen_pack_ids[resource.pack_id] = None
-                packs.append(resource)
-            for image in resource.images:
-                pack_images.append(
-                    CrawledImage(
-                        image=image,
-                        digest=content_digest(image),
-                        link=link,
-                        pack_id=resource.pack_id,
-                    )
+            members: List[SyntheticImage] = []
+            for index, image in enumerate(resource.images):
+                crawled = self._ingest(
+                    link, image, quarantine, stage,
+                    pack_id=resource.pack_id, member_index=index,
                 )
-        else:  # pragma: no cover - registry only holds these two types
-            raise TypeError(f"unexpected resource type {type(resource).__name__}")
+                if crawled is None:
+                    continue
+                members.append(image)
+                pack_images.append(crawled)
+            if members and resource.pack_id not in seen_pack_ids:
+                seen_pack_ids[resource.pack_id] = None
+                if len(members) == len(resource.images):
+                    packs.append(resource)
+                else:
+                    packs.append(replace(resource, images=members))
+        else:
+            quarantine.admit(
+                stage,
+                str(link.url),
+                UnexpectedResourceError(
+                    f"unexpected resource type {type(resource).__name__}"
+                ),
+                {"link_kind": link.link_kind},
+            )

@@ -132,14 +132,20 @@ class SimulatedInternet:
     ``fault_injector`` (see :mod:`repro.web.faults`) optionally layers
     transient failures over the permanent fates at fetch time; leave it
     ``None`` for a perfectly reliable network (the pre-fault behaviour).
+
+    ``payload_injector`` (see :mod:`repro.web.payload_faults`) is the
+    matching *content*-level hazard: OK fetches may deliver corrupted
+    payloads — truncated rasters, NaN poison, decoys — deterministically
+    per URL.  Leave it ``None`` for pristine payloads.
     """
 
-    def __init__(self, seed: int = 0, fault_injector=None):
+    def __init__(self, seed: int = 0, fault_injector=None, payload_injector=None):
         self._rng = np.random.default_rng(seed)
         self._hosted: Dict[str, HostedResource] = {}
         self._origin_sites: Dict[str, OriginSite] = {}
         self._origin_urls: Dict[str, List[Url]] = {}
         self._fault_injector = fault_injector
+        self._payload_injector = payload_injector
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -152,6 +158,15 @@ class SimulatedInternet:
     def set_fault_injector(self, injector) -> None:
         """Install (or with ``None``, remove) a transient-fault injector."""
         self._fault_injector = injector
+
+    @property
+    def payload_injector(self):
+        """The active corrupt-payload injector, or ``None``."""
+        return self._payload_injector
+
+    def set_payload_injector(self, injector) -> None:
+        """Install (or with ``None``, remove) a corrupt-payload injector."""
+        self._payload_injector = injector
 
     # ------------------------------------------------------------------
     # Hosting on services
@@ -268,7 +283,15 @@ class SimulatedInternet:
                 status=FetchStatus.UNKNOWN_HOST,
             )
         if hosted.status is FetchStatus.OK:
-            return FetchResult(url=hosted.url, status=FetchStatus.OK, resource=hosted.resource)
+            resource = hosted.resource
+            if self._payload_injector is not None:
+                # Corruption is a pure function of (seed, url) — NOT of
+                # the attempt index — so checkpoint replay re-fetching at
+                # a recorded attempt sees the identical (corrupt) payload.
+                resource = self._payload_injector.corrupt_resource(
+                    key, hosted.url.host, resource
+                )
+            return FetchResult(url=hosted.url, status=FetchStatus.OK, resource=resource)
         return FetchResult(url=hosted.url, status=hosted.status)
 
     def hosted(self, url: Union[Url, str]) -> Optional[HostedResource]:

@@ -6,6 +6,8 @@ they are session-scoped; tests must treat them as read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,12 @@ from repro.synth import WorldConfig
 #: has material to work with, small enough for quick test runs.
 TEST_SCALE = 0.02
 TEST_SEED = 7
+
+#: CI chaos leg: set REPRO_TEST_PAYLOAD_PROFILE=hostile (or dirty) to run
+#: the whole integration suite against a corrupting internet.  The
+#: record-level quarantine boundary is expected to absorb every poison
+#: payload, so the suite must still pass.
+PAYLOAD_PROFILE = os.environ.get("REPRO_TEST_PAYLOAD_PROFILE") or None
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +37,7 @@ def world():
             # even in a small world.
             underage_rate=0.30,
             hashlist_rate=0.5,
+            payload_profile=PAYLOAD_PROFILE,
         )
     )
 

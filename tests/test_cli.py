@@ -31,8 +31,15 @@ class TestParser:
         assert args.scale == 0.02
         assert args.annotate == 1000
         assert args.fault_profile is None
+        assert args.payload_profile is None
         assert args.resume is None
         assert args.lenient is False
+
+    def test_payload_profile_choices(self):
+        args = build_parser().parse_args(["run", "--payload-profile", "hostile"])
+        assert args.payload_profile == "hostile"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--payload-profile", "bogus"])
 
     def test_fault_profile_choices(self):
         args = build_parser().parse_args(["run", "--fault-profile", "flaky"])
@@ -113,6 +120,19 @@ class TestCommands:
              "--fault-profile", "flaky", "--resume", str(ckpt)]
         )
         assert code == 0
+
+    def test_run_with_payload_profile_reports_quarantine(self, capsys):
+        code = main(
+            ["run", *CLI_WORLD, "--annotate", "200", "--payload-profile", "hostile"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        # the run still completes and renders the digest ...
+        assert "== selection (§3) ==" in output
+        # ... and both quarantine surfaces carry the ledger
+        assert "== quarantine (record-level faults) ==" in output
+        assert "-- quarantine --" in output
+        assert "records quarantined" in output
 
     def test_tables_writes_files(self, tmp_path, capsys):
         out = tmp_path / "tables"

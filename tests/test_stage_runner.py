@@ -73,6 +73,108 @@ class TestStageRunner:
         assert any(line.startswith("FAILED  beta") for line in lines)
         assert any("skipped gamma" in line for line in lines)
 
+    def test_root_cause_tracked_through_skip_chains(self):
+        """Regression: a transitively skipped stage must name the stage
+        that actually failed, not just its direct dependency."""
+        runner = StageRunner(strict=False)
+        runner.run("alpha", boom)
+        runner.run("beta", lambda: 1, requires=("alpha",))
+        runner.run("gamma", lambda: 1, requires=("beta",))
+        beta, gamma = runner.outcomes[1], runner.outcomes[2]
+        assert (beta.skipped_due_to, beta.root_cause) == ("alpha", "alpha")
+        assert (gamma.skipped_due_to, gamma.root_cause) == ("beta", "alpha")
+        lines = runner.summary_lines()
+        # direct skip: no redundant root-cause suffix
+        assert "skipped beta (requires alpha)" in lines
+        # transitive skip: the root cause is surfaced
+        assert "skipped gamma (requires beta; root cause alpha)" in lines
+
+    def test_non_exception_errors_reraise_even_in_lenient_mode(self):
+        """Lenient mode degrades on stage crashes; it must not swallow
+        operator aborts — but it still records them for the post-mortem."""
+
+        def interrupt():
+            raise KeyboardInterrupt()
+
+        runner = StageRunner(strict=False, hooks={"alpha": interrupt})
+        with pytest.raises(KeyboardInterrupt):
+            runner.run("alpha", lambda: 1)
+        assert runner.outcomes[0].status == "failed"
+        assert runner.failures[0].error_type == "KeyboardInterrupt"
+        # the stage is still marked bad, so dependents would skip
+        assert runner.unavailable("alpha")
+
+    def test_system_exit_reraises_in_lenient_mode(self):
+        runner = StageRunner(strict=False)
+
+        def bail():
+            raise SystemExit(3)
+
+        with pytest.raises(SystemExit):
+            runner.run("alpha", bail)
+        assert runner.failures[0].error_type == "SystemExit"
+
+
+class TestPipelineReportOutcomes:
+    """PipelineReport's degradation accessors over mixed outcomes."""
+
+    def make_report(self):
+        from repro.core.pipeline import PipelineReport
+
+        failure = StageFailure(
+            stage="abuse_filter",
+            error_type="RuntimeError",
+            message="boom",
+            traceback="...",
+            elapsed=0.1,
+            context={"n_images": 12},
+        )
+        outcomes = [
+            StageOutcome(stage="top_extraction", status="ok", elapsed=1.0),
+            StageOutcome(stage="url_crawl", status="ok", elapsed=2.0),
+            StageOutcome(
+                stage="abuse_filter", status="failed", elapsed=0.1, failure=failure
+            ),
+            StageOutcome(
+                stage="nsfv", status="skipped",
+                skipped_due_to="abuse_filter", root_cause="abuse_filter",
+            ),
+            StageOutcome(
+                stage="provenance", status="skipped",
+                skipped_due_to="nsfv", root_cause="abuse_filter",
+            ),
+        ]
+        return PipelineReport(
+            selection=[], forum_summaries=[],
+            stage_outcomes=outcomes, stage_failures=[failure],
+        )
+
+    def test_degraded_with_mixed_outcomes(self):
+        assert self.make_report().degraded
+
+    def test_not_degraded_when_all_ok(self):
+        from repro.core.pipeline import PipelineReport
+
+        report = PipelineReport(
+            selection=[], forum_summaries=[],
+            stage_outcomes=[StageOutcome(stage="a", status="ok")],
+        )
+        assert not report.degraded
+
+    def test_stage_failure_lookup(self):
+        report = self.make_report()
+        failure = report.stage_failure("abuse_filter")
+        assert failure is not None and failure.error_type == "RuntimeError"
+        # skipped stages have no failure record of their own
+        assert report.stage_failure("nsfv") is None
+        assert report.stage_failure("does_not_exist") is None
+
+    def test_skipped_outcomes_carry_root_cause(self):
+        report = self.make_report()
+        by_stage = {o.stage: o for o in report.stage_outcomes}
+        assert by_stage["provenance"].root_cause == "abuse_filter"
+        assert by_stage["provenance"].skipped_due_to == "nsfv"
+
 
 @pytest.mark.slow
 class TestPipelineDegradation:
