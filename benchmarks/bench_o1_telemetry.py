@@ -1,0 +1,126 @@
+"""O1 — telemetry overhead and determinism gates (DESIGN.md §9).
+
+Two questions, one gate each:
+
+1. **What does full tracing cost end-to-end?**  The complete pipeline is
+   timed with tracing disabled (the default :data:`NULL_TRACER`
+   recorder) and with a recording :class:`~repro.obs.Tracer` — spans on
+   every stage, every link fetch and every batched vision kernel.
+   Acceptance: overhead **< 3%** (with a small absolute floor so
+   sub-second runs don't fail on scheduler noise).
+2. **Does telemetry perturb the measurement?**  The traced and untraced
+   runs must agree exactly on the deterministic telemetry view — funnel
+   counts and every non-``*_seconds`` metric (the DESIGN.md §9
+   determinism contract, also property-tested at unit scale in
+   ``tests/test_obs_pipeline.py``).
+
+Emits ``benchmarks/results/BENCH_telemetry.json`` (CI artifact) plus
+the human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import run_pipeline
+from repro.obs import RunTelemetry, Tracer
+
+from _common import BENCH_SCALE, BENCH_SEED, scale_note
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+REPEATS = 3
+OVERHEAD_TARGET = 0.03
+#: Sub-second absolute slack: scheduler noise on small CI worlds can
+#: exceed 3% of a short run without reflecting any real per-record cost.
+ABSOLUTE_FLOOR_SECONDS = 0.25
+
+
+def _timed_run(world, tracer):
+    """One timed full pipeline run; returns (seconds, telemetry)."""
+    telemetry = RunTelemetry(tracer=tracer)
+    start = time.perf_counter()
+    run_pipeline(world, telemetry=telemetry)
+    return time.perf_counter() - start, telemetry
+
+
+def test_o1_telemetry_overhead(bench_world, benchmark, emit):
+    # Warm-up (caches, lazy imports) before any timed round, then
+    # *interleave* traced/untraced rounds so drift in shared world
+    # state cannot bias either side; take the best of each.
+    run_pipeline(bench_world, telemetry=RunTelemetry(tracer=Tracer()))
+    t_off = t_on = float("inf")
+    tele_off = tele_on = None
+    for _ in range(REPEATS):
+        seconds, tele_off = _timed_run(bench_world, None)
+        t_off = min(t_off, seconds)
+        seconds, tele_on = _timed_run(bench_world, Tracer())
+        t_on = min(t_on, seconds)
+    overhead = t_on / t_off - 1.0
+    delta = t_on - t_off
+    benchmark.pedantic(
+        lambda: run_pipeline(
+            bench_world, telemetry=RunTelemetry(tracer=Tracer())
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    n_spans = len(tele_on.tracer.spans())
+    n_events = tele_on.tracer.n_events
+
+    # ---- gate 2: telemetry must not perturb the measurement ----------
+    view_off = tele_off.deterministic_snapshot()
+    view_on = tele_on.deterministic_snapshot()
+    deterministic = view_off == view_on
+
+    payload = {
+        "config": {
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "repeats": REPEATS,
+        },
+        "pipeline_seconds": {
+            "tracing_off": round(t_off, 4),
+            "tracing_on": round(t_on, 4),
+        },
+        "overhead": round(overhead, 4),
+        "overhead_seconds": round(delta, 4),
+        "overhead_target": OVERHEAD_TARGET,
+        "absolute_floor_seconds": ABSOLUTE_FLOOR_SECONDS,
+        "n_spans": n_spans,
+        "n_events": n_events,
+        "funnel": tele_on.funnel(),
+        "deterministic_views_equal": deterministic,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "O1 — telemetry overhead and determinism " + scale_note(),
+        f"pipeline, tracing off: {t_off:.3f}s (best of {REPEATS})",
+        f"pipeline, tracing on : {t_on:.3f}s ({n_spans} spans, {n_events} events)",
+        f"overhead             : {overhead:+.2%} ({delta:+.3f}s; "
+        f"target < {OVERHEAD_TARGET:.0%} or < {ABSOLUTE_FLOOR_SECONDS}s absolute)",
+        f"deterministic views  : {'identical' if deterministic else 'DIVERGED'}",
+        "",
+        "funnel (traced run):",
+    ]
+    for row in tele_on.funnel():
+        lines.append(f"  {row['stage']:<22} {row['count']}")
+    emit("BENCH_telemetry", "\n".join(lines))
+
+    # Acceptance gates.
+    assert deterministic, (
+        "tracing changed the deterministic telemetry view — it must be "
+        "a pure observer"
+    )
+    assert overhead < OVERHEAD_TARGET or delta < ABSOLUTE_FLOOR_SECONDS, (
+        f"full tracing costs {overhead:.1%} ({delta:.3f}s) end-to-end "
+        f"(target < {OVERHEAD_TARGET:.0%})"
+    )
+    assert n_spans > 0 and tele_on.tracing_enabled

@@ -65,6 +65,7 @@ def run_pipeline(
     strict: bool = True,
     checkpoint=None,
     stage_hooks=None,
+    telemetry=None,
 ) -> PipelineReport:
     """Run the full measurement over a world using its ground-truth oracles.
 
@@ -75,7 +76,10 @@ def run_pipeline(
 
     ``strict=False`` degrades gracefully on stage failures instead of
     aborting; ``checkpoint`` (a path or ``CrawlCheckpoint``) makes the
-    §4.2 crawl resumable; ``stage_hooks`` force stage failures in tests.
+    §4.2 crawl resumable; ``stage_hooks`` force stage failures in tests;
+    ``telemetry`` (a :class:`~repro.obs.RunTelemetry`) carries the run's
+    span tracer and metrics registry — pass one built around an enabled
+    :class:`~repro.obs.Tracer` to capture a trace (DESIGN.md §9).
     """
     import math
 
@@ -90,4 +94,5 @@ def run_pipeline(
         strict=strict,
         checkpoint=checkpoint,
         stage_hooks=stage_hooks,
+        telemetry=telemetry,
     )

@@ -1,32 +1,49 @@
 """Command-line interface for the reproduction.
 
-Three subcommands:
+Four subcommands:
 
 * ``repro build``  — generate a synthetic world and save its forum
   dataset as JSONL;
 * ``repro run``    — generate a world, run the full pipeline, print the
-  measurement digest (optionally writing each table to a directory);
-* ``repro tables`` — like ``run``, but only writes the table files.
+  measurement digest (optionally writing each table to a directory and
+  a span trace + run manifest via ``--trace-out``);
+* ``repro tables`` — like ``run``, but only writes the table files;
+* ``repro trace``  — render a previously written trace file as a
+  per-stage flame summary and funnel table.
 
 Examples::
 
     repro run --seed 7 --scale 0.02
+    repro run --trace-out trace.jsonl            # + trace.manifest.json
+    repro trace trace.jsonl
+    repro --log-level debug --log-json run --seed 7
     repro run --fault-profile flaky --resume          # unreliable network, resumable crawl
     repro run --fault-profile hostile --lenient       # degrade instead of aborting
     repro run --payload-profile hostile               # corrupt payloads, quarantined per record
     repro build --seed 11 --scale 0.05 --out world.jsonl
     repro tables --seed 11 --scale 0.05 --out results/
+
+Progress goes through :mod:`repro.obs.log` (structured ``logging`` on
+stderr, JSON with ``--log-json``); measurement output stays on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from . import build_world, run_pipeline
+from .obs import RunTelemetry, Tracer, get_logger, setup_logging
+from .obs.export import (
+    build_manifest,
+    manifest_path_for,
+    read_trace,
+    render_trace,
+    write_manifest,
+    write_trace,
+)
 from .web.faults import FAULT_PROFILES
 from .web.payload_faults import PAYLOAD_PROFILES
 from .core.report_text import (
@@ -36,16 +53,27 @@ from .core.report_text import (
     render_table5,
     render_table7,
     render_table8,
+    render_telemetry,
 )
 from .forum.store import save_dataset
 
 __all__ = ["build_parser", "main"]
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Measuring eWhoring' (IMC 2019) on a synthetic substrate.",
+    )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVELS, default="info",
+        help="stderr logging level (default info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects instead of human-readable text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annotation sample size (default 1000)")
     p_run.add_argument("--out", type=Path, default=None,
                        help="also write table files into this directory")
+    p_run.add_argument(
+        "--trace-out", type=Path, default=None, metavar="TRACE",
+        help="enable span tracing and write the JSONL trace here, plus "
+             "the run manifest next to it (<stem>.manifest.json); view "
+             "the trace with 'repro trace TRACE'",
+    )
     p_run.add_argument(
         "--fault-profile", choices=sorted(FAULT_PROFILES), default=None,
         help="inject transient fetch faults (timeouts/rate limits/5xx) "
@@ -93,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_tables)
     p_tables.add_argument("--annotate", type=int, default=1000)
     p_tables.add_argument("--out", type=Path, required=True, help="output directory")
+
+    p_trace = sub.add_parser(
+        "trace", help="render a trace file written by 'run --trace-out'"
+    )
+    p_trace.add_argument("path", type=Path, help="trace JSONL path")
+    p_trace.add_argument(
+        "--max-depth", type=int, default=6,
+        help="flame-summary nesting depth (default 6)",
+    )
 
     return parser
 
@@ -162,51 +205,98 @@ def _resilience_summary(report) -> str:
     return "\n".join(lines)
 
 
+def _write_trace_artifacts(args, report, telemetry, log) -> None:
+    """Write the trace JSONL + run manifest for a traced ``run``."""
+    config = {
+        "scale": args.scale,
+        "annotate": args.annotate,
+        "fault_profile": args.fault_profile,
+        "payload_profile": args.payload_profile,
+        "lenient": bool(args.lenient),
+    }
+    meta = {
+        "seed": args.seed,
+        "config": config,
+        "funnel": telemetry.funnel(),
+        "stages": [outcome.as_dict() for outcome in report.stage_outcomes],
+    }
+    trace_path = write_trace(args.trace_out, telemetry.tracer.spans(), meta)
+    log.info(
+        "wrote trace %s (%d spans, %d events)",
+        trace_path,
+        len(telemetry.tracer.spans()),
+        telemetry.tracer.n_events,
+    )
+    manifest = build_manifest(report, seed=args.seed, config=config)
+    manifest_path = write_manifest(manifest_path_for(trace_path), manifest)
+    log.info("wrote run manifest %s", manifest_path)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(level=args.log_level, json_mode=args.log_json)
+    log = get_logger("cli")
+
+    if args.command == "trace":
+        meta, spans = read_trace(args.path)
+        print(render_trace(meta, spans, max_depth=args.max_depth))
+        return 0
 
     fault_profile = getattr(args, "fault_profile", None)
     payload_profile = getattr(args, "payload_profile", None)
-    profile_note = f", fault_profile={fault_profile}" if fault_profile else ""
-    if payload_profile:
-        profile_note += f", payload_profile={payload_profile}"
-    print(
-        f"building world (seed={args.seed}, scale={args.scale}{profile_note}) ...",
-        file=sys.stderr,
+    log.info(
+        "building world",
+        extra={
+            "seed": args.seed,
+            "scale": args.scale,
+            "fault_profile": fault_profile,
+            "payload_profile": payload_profile,
+        },
     )
-    start = time.time()
+    start = time.perf_counter()
     world = build_world(
         seed=args.seed,
         scale=args.scale,
         fault_profile=fault_profile,
         payload_profile=payload_profile,
     )
-    print(f"  {world.dataset} [{time.time() - start:.1f}s]", file=sys.stderr)
+    log.info(
+        "world ready: %s [%.1fs]", world.dataset, time.perf_counter() - start
+    )
 
     if args.command == "build":
         n_records = save_dataset(world.dataset, args.out)
         print(f"wrote {n_records} records to {args.out}")
         return 0
 
-    print("running pipeline ...", file=sys.stderr)
-    start = time.time()
+    trace_out = getattr(args, "trace_out", None)
+    telemetry = RunTelemetry(tracer=Tracer() if trace_out is not None else None)
+    log.info("running pipeline", extra={"tracing": telemetry.tracing_enabled})
+    start = time.perf_counter()
     report = run_pipeline(
         world,
         annotate_n=args.annotate,
         strict=not getattr(args, "lenient", False),
         checkpoint=getattr(args, "resume", None),
+        telemetry=telemetry,
     )
-    print(f"  done [{time.time() - start:.1f}s]", file=sys.stderr)
+    log.info("pipeline done [%.1fs]", time.perf_counter() - start)
+    for line in telemetry.summary_lines():
+        log.info("%s", line)
 
     if args.command == "run":
         if report.degraded:
-            print("measurement DEGRADED: some sections unavailable", file=sys.stderr)
+            log.warning("measurement DEGRADED: some sections unavailable")
         else:
             print(render_digest(report))
         print(_resilience_summary(report))
+        print("-- telemetry --")
+        print(render_telemetry(report))
+        if trace_out is not None:
+            _write_trace_artifacts(args, report, telemetry, log)
         if args.out is not None and not report.degraded:
             for path in _write_tables(report, args.out):
-                print(f"wrote {path}", file=sys.stderr)
+                log.info("wrote %s", path)
         return 0
 
     # tables

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.trace import NULL_TRACER
 from ..vision.cache import VisionCache
 from ..vision.nsfw import NsfwScorer
 from ..vision.ocr import OcrEngine
@@ -101,6 +102,7 @@ class NsfvClassifier:
         *,
         digests: Optional[Sequence[str]] = None,
         cache: Optional[VisionCache] = None,
+        tracer=None,
     ) -> List[NsfvVerdict]:
         """Classify many rasters, optionally memoised through a cache.
 
@@ -112,35 +114,55 @@ class NsfvClassifier:
         mapping :meth:`classify` over the same rasters: OCR still runs
         only inside the ambiguous band, and a cached OCR count never
         changes a clear-cut verdict.
+
+        ``tracer`` wraps the batch in a ``vision.nsfv_batch`` span whose
+        attributes count the images scored and the OCR passes the
+        ambiguous band demanded (DESIGN.md §9).
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         items = rasters if isinstance(rasters, list) else list(rasters)
         if digests is not None and len(digests) != len(items):
             raise ValueError("digests must align one-to-one with rasters")
-        if digests is None or cache is None:
-            return [self.classify(pixels) for pixels in items]
+        with tracer.span("vision.nsfv_batch", n_images=len(items)) as span:
+            if digests is None or cache is None:
+                verdicts_plain: List[NsfvVerdict] = []
+                n_ocr = 0
+                for pixels in items:
+                    verdict = self.classify(pixels)
+                    if (
+                        self.sfv_threshold <= verdict.nsfw_score
+                        and verdict.nsfw_score <= self.nsfv_threshold
+                    ):
+                        n_ocr += 1
+                    verdicts_plain.append(verdict)
+                span.set(n_ocr=n_ocr)
+                return verdicts_plain
 
-        verdicts: List[Optional[NsfvVerdict]] = [None] * len(items)
-        seen: Dict[str, NsfvVerdict] = {}
-        for i, (pixels, digest) in enumerate(zip(items, digests)):
-            cached = seen.get(digest)
-            if cached is not None:
-                verdicts[i] = cached
-                continue
-            nsfw = float(
-                cache.nsfw_for(digest, lambda p=pixels: self.scorer.score(p))
-            )
-            if nsfw < self.sfv_threshold:
-                verdict = NsfvVerdict(True, nsfw, 0)
-            elif nsfw > self.nsfv_threshold:
-                verdict = NsfvVerdict(False, nsfw, 0)
-            else:
-                words = int(
-                    cache.ocr_for(digest, lambda p=pixels: self.ocr.word_count(p))
+            verdicts: List[Optional[NsfvVerdict]] = [None] * len(items)
+            seen: Dict[str, NsfvVerdict] = {}
+            n_ocr = 0
+            for i, (pixels, digest) in enumerate(zip(items, digests)):
+                cached = seen.get(digest)
+                if cached is not None:
+                    verdicts[i] = cached
+                    continue
+                nsfw = float(
+                    cache.nsfw_for(digest, lambda p=pixels: self.scorer.score(p))
                 )
-                if nsfw < self.low_band_threshold:
-                    verdict = NsfvVerdict(words > self.low_ocr_words, nsfw, words)
+                if nsfw < self.sfv_threshold:
+                    verdict = NsfvVerdict(True, nsfw, 0)
+                elif nsfw > self.nsfv_threshold:
+                    verdict = NsfvVerdict(False, nsfw, 0)
                 else:
-                    verdict = NsfvVerdict(words > self.high_ocr_words, nsfw, words)
-            seen[digest] = verdict
-            verdicts[i] = verdict
-        return [v for v in verdicts if v is not None]
+                    n_ocr += 1
+                    words = int(
+                        cache.ocr_for(digest, lambda p=pixels: self.ocr.word_count(p))
+                    )
+                    if nsfw < self.low_band_threshold:
+                        verdict = NsfvVerdict(words > self.low_ocr_words, nsfw, words)
+                    else:
+                        verdict = NsfvVerdict(words > self.high_ocr_words, nsfw, words)
+                seen[digest] = verdict
+                verdicts[i] = verdict
+            span.set(n_unique=len(seen), n_ocr=n_ocr)
+            return [v for v in verdicts if v is not None]

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..domains.classifiers import DomainClassifier, default_classifiers
 from ..forum.dataset import ForumDataset
+from ..obs import RunTelemetry
 from ..forum.models import Thread
 from ..forum.query import ForumSummary, ewhoring_threads, forum_summaries
 from ..ml.split import train_test_split
@@ -133,6 +134,11 @@ class PipelineReport:
     #: every payload excised at a per-record boundary, across stages.
     quarantine: Optional[Quarantine] = None
 
+    #: The run's unified telemetry (DESIGN.md §9): the span tracer, the
+    #: metrics registry and the Figure-1 stage funnel, ready for the
+    #: :mod:`repro.obs.export` sinks.
+    telemetry: Optional[RunTelemetry] = None
+
     @property
     def n_quarantined(self) -> int:
         """Total records excised across all stages of this run."""
@@ -202,6 +208,7 @@ class EwhoringPipeline:
         strict: bool = True,
         checkpoint: Optional[Union[str, Path, CrawlCheckpoint]] = None,
         stage_hooks: Optional[Mapping[str, Callable[[], None]]] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> PipelineReport:
         """Execute the full measurement and return the report.
 
@@ -210,11 +217,46 @@ class EwhoringPipeline:
         §4.2 crawl resumable; ``stage_hooks`` maps stage names to
         callables invoked at the top of the stage boundary (tests and
         benchmarks use this to force failures).
+
+        ``telemetry`` is the run's :class:`~repro.obs.RunTelemetry`
+        (span tracer + metrics registry); omitted, a fresh registry with
+        the shared no-op tracer is created, so funnel counts and metric
+        values are always recorded while span tracing stays
+        zero-cost-off.  The same object rides out on
+        :attr:`PipelineReport.telemetry`.
         """
-        runner = StageRunner(strict=strict, hooks=stage_hooks)
+        tele = telemetry if telemetry is not None else RunTelemetry()
+        runner = StageRunner(strict=strict, hooks=stage_hooks, telemetry=tele)
         #: One ledger per run: every stage's record-level boundary admits
         #: poison records here, and the report carries it out.
-        quarantine = Quarantine()
+        quarantine = Quarantine(tracer=tele.tracer)
+        #: The run's shared cache narrates its batched kernels to the
+        #: run's tracer (re-pointed each run; the cache may outlive it).
+        self.vision_cache.set_tracer(tele.tracer)
+        with tele.tracer.span("pipeline.run", seed=self.seed, strict=strict):
+            report = self._run_stages(
+                runner, tele, quarantine,
+                top_oracle, proof_oracle, annotate_n, train_fraction,
+                min_ce_posts, key_actor_top_n, checkpoint,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_stages(
+        self,
+        runner: StageRunner,
+        tele: RunTelemetry,
+        quarantine: Quarantine,
+        top_oracle: TopOracleFn,
+        proof_oracle: ProofOracleFn,
+        annotate_n: int,
+        train_fraction: float,
+        min_ce_posts: int,
+        key_actor_top_n: int,
+        checkpoint: Optional[Union[str, Path, CrawlCheckpoint]],
+    ) -> PipelineReport:
+        """The stage chain, executed inside the ``pipeline.run`` span."""
+        fetch_calls_start = self.internet.n_fetch_calls
         selection = ewhoring_threads(self.dataset)
         summaries = forum_summaries(self.dataset, selection)
 
@@ -247,6 +289,7 @@ class EwhoringPipeline:
                 checkpoint=checkpoint,
                 quarantine=quarantine,
                 stage="url_crawl",
+                tracer=tele.tracer,
             )
 
         crawl_out, _ = runner.run(
@@ -297,6 +340,7 @@ class EwhoringPipeline:
                 [c.image.pixels for c in previews],
                 digests=[c.digest for c in previews],
                 cache=self.vision_cache,
+                tracer=tele.tracer,
             )
             preview_verdicts = list(zip(previews, verdicts))
             return preview_verdicts, [c for c, v in preview_verdicts if v.nsfv]
@@ -384,7 +428,7 @@ class EwhoringPipeline:
             actors_out if actors_out is not None else (None, None, None, None)
         )
 
-        return PipelineReport(
+        report = PipelineReport(
             selection=selection,
             forum_summaries=summaries,
             top_evaluation=evaluation,
@@ -409,6 +453,89 @@ class EwhoringPipeline:
             stage_failures=list(runner.failures),
             vision_cache_stats=self.vision_cache.stats(),
             quarantine=quarantine,
+            telemetry=tele,
+        )
+        self._record_telemetry(report, tele, fetch_calls_start)
+        return report
+
+    # ------------------------------------------------------------------
+    def _record_telemetry(
+        self,
+        report: PipelineReport,
+        tele: RunTelemetry,
+        fetch_calls_start: int,
+    ) -> None:
+        """Record the Figure-1 funnel and mirror the scattered stats.
+
+        The funnel is the paper's headline table: per-stage attrition
+        counts, in pipeline order, ``None`` for sections a lenient run
+        lost.  The per-subsystem statistics objects (crawl/retry
+        counters, vision cache, quarantine ledger, internet fetch
+        accounting) are mirrored into the registry once, at run end —
+        no per-record metric updates on any hot path.  Everything here
+        except ``*_seconds`` metrics is a pure function of the world
+        seed (the determinism contract of DESIGN.md §9).
+        """
+        crawl = report.crawl
+        provenance = report.provenance
+        n_prov_matches = None
+        if provenance is not None:
+            n_prov_matches = (
+                provenance.summary("packs").matches
+                + provenance.summary("previews").matches
+            )
+
+        tele.funnel_row("threads_selected", len(report.selection))
+        tele.funnel_row(
+            "tops_extracted", len(report.tops) if report.tops is not None else None
+        )
+        tele.funnel_row(
+            "links_extracted",
+            len(report.links.all_links) if report.links is not None else None,
+        )
+        tele.funnel_row(
+            "images_downloaded", len(crawl.all_images) if crawl is not None else None
+        )
+        tele.funnel_row(
+            "unique_files", crawl.n_unique_files if crawl is not None else None
+        )
+        tele.funnel_row(
+            "nsfv_previews",
+            report.n_nsfv_previews if report.n_nsfv_previews is not None else None,
+        )
+        tele.funnel_row("provenance_matches", n_prov_matches)
+        tele.funnel_row("quarantined_records", report.n_quarantined)
+
+        metrics = tele.metrics
+        if crawl is not None:
+            stats = crawl.stats
+            metrics.gauge("crawl.links").set(stats.n_links)
+            metrics.gauge("crawl.retries").set(stats.n_retries)
+            metrics.gauge("crawl.giveups").set(stats.n_giveups)
+            metrics.gauge("crawl.breaker_skips").set(stats.n_breaker_skips)
+            metrics.gauge("crawl.transient_faults").set(stats.n_transient_faults)
+            for status, count in stats.by_status.items():
+                metrics.gauge("crawl.links_by_status", status=status.value).set(count)
+            if crawl.breaker_summary is not None:
+                metrics.gauge("crawl.breaker_opens").set(
+                    crawl.breaker_summary["total_opens"]
+                )
+                metrics.gauge("crawl.breaker_domains").set(
+                    crawl.breaker_summary["n_domains"]
+                )
+        cache_stats = report.vision_cache_stats
+        if cache_stats is not None:
+            metrics.gauge("vision_cache.hits").set(cache_stats.hits)
+            metrics.gauge("vision_cache.misses").set(cache_stats.misses)
+            metrics.gauge("vision_cache.evictions").set(cache_stats.evictions)
+            metrics.gauge("vision_cache.entries").set(cache_stats.n_entries)
+        if report.quarantine is not None:
+            for stage, count in sorted(report.quarantine.by_stage().items()):
+                metrics.gauge("quarantine.records_by_stage", stage=stage).set(count)
+            for error, count in sorted(report.quarantine.by_error().items()):
+                metrics.gauge("quarantine.records_by_error", error=error).set(count)
+        metrics.gauge("internet.fetch_calls").set(
+            self.internet.n_fetch_calls - fetch_calls_start
         )
 
     # ------------------------------------------------------------------

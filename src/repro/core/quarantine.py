@@ -23,7 +23,12 @@ records is bit-identical to a corruption-free run on the same seed.
 
 This module deliberately imports nothing from :mod:`repro.core` or
 :mod:`repro.web` so the crawler can depend on it without an import
-cycle.
+cycle (:mod:`repro.obs` and :mod:`repro.media` are leaf dependencies).
+
+Telemetry: a ledger built with a tracer emits one ``quarantine.admit``
+event per excised record on whichever span is current when the poison
+surfaces (the crawl fetch span, the NSFV stage span, …), and
+:meth:`Quarantine.as_dict` is the snapshot the run manifest embeds.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from typing import (
 )
 
 from ..media.validate import validate_raster
+from ..obs.trace import NULL_TRACER
 
 __all__ = ["Quarantine", "QuarantineRecord"]
 
@@ -81,10 +87,16 @@ class QuarantineRecord:
 
 
 class Quarantine:
-    """Shared ledger of per-record failures across pipeline stages."""
+    """Shared ledger of per-record failures across pipeline stages.
 
-    def __init__(self) -> None:
+    ``tracer`` (any :class:`~repro.obs.trace.Tracer`-shaped recorder)
+    receives one ``quarantine.admit`` event per excised record; the
+    default is the shared no-op recorder.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.records: List[QuarantineRecord] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Admission
@@ -105,6 +117,9 @@ class Quarantine:
             context=dict(context or {}),
         )
         self.records.append(record)
+        self.tracer.event(
+            "quarantine.admit", stage=stage, ref=ref, error=record.error_type
+        )
         return record
 
     @contextmanager
@@ -191,6 +206,20 @@ class Quarantine:
     def merge(self, other: "Quarantine") -> None:
         """Append another ledger's records (shard collection)."""
         self.records.extend(other.records)
+
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view: totals plus per-stage/per-error counts.
+
+        This (not ``.records``) is what exporters embed — the common
+        ``as_dict()`` contract shared with ``VisionCacheStats``,
+        ``CrawlStats`` and ``BreakerBoard`` (DESIGN.md §9).
+        """
+        return {
+            "n_quarantined": len(self.records),
+            "by_stage": dict(sorted(self.by_stage().items())),
+            "by_error": dict(sorted(self.by_error().items())),
+            "sample": [r.to_dict() for r in self.sample(3)],
+        }
 
     # ------------------------------------------------------------------
     def summary_lines(self, n_samples: int = 3) -> List[str]:

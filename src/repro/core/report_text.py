@@ -12,6 +12,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..finance.parser import CANONICAL_CURRENCIES
+from ..obs.export import render_funnel
 from .earnings import CurrencyExchangeTable, EarningsResult
 from .pipeline import PipelineReport
 
@@ -22,6 +23,7 @@ __all__ = [
     "render_table7",
     "render_table8",
     "render_earnings",
+    "render_telemetry",
 ]
 
 
@@ -107,6 +109,41 @@ def render_earnings(earnings: EarningsResult) -> str:
     return "\n".join(lines)
 
 
+def render_telemetry(report: PipelineReport) -> str:
+    """The run's telemetry block: funnel table + component snapshots.
+
+    Everything here goes through the snapshot protocol (``as_dict()`` /
+    ``summary()`` on the stats objects) — no reaching into private
+    fields, and no formatting duplicated from the exporters: the funnel
+    table is :func:`repro.obs.export.render_funnel`, shared with
+    ``repro trace``.
+    """
+    tele = report.telemetry
+    if tele is None:
+        return "telemetry: not recorded"
+    lines: List[str] = render_funnel(tele.funnel()).splitlines()
+    lines.extend(tele.summary_lines()[1:])  # funnel already tabulated above
+    cache = report.vision_cache_stats
+    if cache is not None:
+        lines.append(f"vision cache: {cache.summary()}")
+    crawl = report.crawl.stats.as_dict() if report.crawl is not None else None
+    if crawl:
+        lines.append(
+            f"crawl: {crawl['n_links']} links, {crawl['n_retries']} retries, "
+            f"{crawl['n_giveups']} giveups, {crawl['n_breaker_skips']} breaker skips"
+        )
+    breakers = getattr(report.crawl, "breaker_summary", None)
+    if breakers:
+        lines.append(
+            f"breakers: {breakers['n_domains']} domains, "
+            f"{breakers['n_open']} open, {breakers['total_opens']} opens total"
+        )
+    if report.quarantine is not None:
+        quarantine = report.quarantine.as_dict()
+        lines.append(f"quarantine: {quarantine['n_quarantined']} records")
+    return "\n".join(lines)
+
+
 def render_digest(report: PipelineReport) -> str:
     """A one-screen digest of the whole measurement."""
     evaluation = report.top_evaluation
@@ -153,4 +190,7 @@ def render_digest(report: PipelineReport) -> str:
     if report.quarantine is not None and len(report.quarantine):
         sections.extend(["", "== quarantine (record-level faults) =="])
         sections.extend(report.quarantine.summary_lines())
+    if report.telemetry is not None:
+        sections.extend(["", "== telemetry (DESIGN.md §9) =="])
+        sections.append(render_telemetry(report))
     return "\n".join(sections)

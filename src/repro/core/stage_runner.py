@@ -18,6 +18,13 @@ each stage in a recorded boundary:
 ``hooks`` lets tests and benchmarks force a stage to raise without
 monkeypatching pipeline internals: a hook is called at the top of its
 stage's boundary.
+
+Every boundary is also a telemetry boundary (DESIGN.md §9): the stage
+executes inside a ``stage.<name>`` span of the run's tracer, its elapsed
+time feeds the ``pipeline.stage_seconds{stage=…}`` histogram and its
+verdict the ``pipeline.stage_runs{stage=…,status=…}`` counter.  With the
+default no-op telemetry all of this costs two dict constructions per
+*stage* — nothing on any per-record path.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ import time
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs import RunTelemetry
 
 __all__ = ["StageFailure", "StageOutcome", "StageRunner"]
 
@@ -50,6 +59,16 @@ class StageFailure:
             f"(after {self.elapsed:.2f}s){suffix}"
         )
 
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (export / manifest use)."""
+        return {
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed_seconds": self.elapsed,
+            "context": dict(self.context),
+        }
+
 
 @dataclass(frozen=True)
 class StageOutcome:
@@ -70,17 +89,34 @@ class StageOutcome:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (export / manifest use)."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "elapsed_seconds": self.elapsed,
+            "skipped_due_to": self.skipped_due_to,
+            "root_cause": self.root_cause,
+        }
+
 
 class StageRunner:
-    """Runs named stages inside recorded error boundaries."""
+    """Runs named stages inside recorded error boundaries.
+
+    ``telemetry`` (a :class:`~repro.obs.RunTelemetry`) supplies the span
+    recorder and metric registry; omitted, a fresh no-op-traced registry
+    is created so callers never branch on "is telemetry on".
+    """
 
     def __init__(
         self,
         strict: bool = True,
         hooks: Optional[Mapping[str, Callable[[], None]]] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ):
         self.strict = strict
         self.hooks: Dict[str, Callable[[], None]] = dict(hooks or {})
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.outcomes: List[StageOutcome] = []
         self.failures: List[StageFailure] = []
         self._bad: Dict[str, str] = {}  # stage → root cause
@@ -109,6 +145,8 @@ class StageRunner:
         stage yields ``(None, False)``.  In strict mode failures
         re-raise after being recorded.
         """
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         for dep in requires:
             if dep in self._bad:
                 root = self._bad[dep]
@@ -121,39 +159,54 @@ class StageRunner:
                         root_cause=root,
                     )
                 )
+                tracer.event(
+                    "stage.skipped", stage=stage, due_to=dep, root_cause=root
+                )
+                metrics.counter(
+                    "pipeline.stage_runs", stage=stage, status="skipped"
+                ).inc()
                 return None, False
 
-        start = time.perf_counter()
-        try:
-            hook = self.hooks.get(stage)
-            if hook is not None:
-                hook()
-            value = fn()
-        except BaseException as exc:
-            elapsed = time.perf_counter() - start
-            failure = StageFailure(
-                stage=stage,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=_traceback.format_exc(),
-                elapsed=elapsed,
-                context=dict(context or {}),
-            )
-            self.failures.append(failure)
-            self.outcomes.append(
-                StageOutcome(stage=stage, status="failed", elapsed=elapsed, failure=failure)
-            )
-            self._bad[stage] = stage
-            # Non-``Exception`` errors (KeyboardInterrupt, SystemExit, a
-            # hook raising GeneratorExit...) are *recorded* for the
-            # post-mortem but always re-raised: lenient mode degrades on
-            # stage crashes, it does not swallow operator aborts.
-            if self.strict or not isinstance(exc, Exception):
-                raise
-            return None, False
+        with tracer.span(f"stage.{stage}", **dict(context or {})) as span:
+            start = time.perf_counter()
+            try:
+                hook = self.hooks.get(stage)
+                if hook is not None:
+                    hook()
+                value = fn()
+            except BaseException as exc:
+                elapsed = time.perf_counter() - start
+                failure = StageFailure(
+                    stage=stage,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=_traceback.format_exc(),
+                    elapsed=elapsed,
+                    context=dict(context or {}),
+                )
+                self.failures.append(failure)
+                self.outcomes.append(
+                    StageOutcome(stage=stage, status="failed", elapsed=elapsed, failure=failure)
+                )
+                self._bad[stage] = stage
+                span.set(outcome="failed", error=type(exc).__name__)
+                metrics.counter(
+                    "pipeline.stage_runs", stage=stage, status="failed"
+                ).inc()
+                metrics.histogram("pipeline.stage_seconds", stage=stage).observe(elapsed)
+                # Non-``Exception`` errors (KeyboardInterrupt, SystemExit, a
+                # hook raising GeneratorExit...) are *recorded* for the
+                # post-mortem but always re-raised: lenient mode degrades on
+                # stage crashes, it does not swallow operator aborts.
+                if self.strict or not isinstance(exc, Exception):
+                    raise
+                return None, False
 
-        elapsed = time.perf_counter() - start
-        self.outcomes.append(StageOutcome(stage=stage, status="ok", elapsed=elapsed))
+            elapsed = time.perf_counter() - start
+            span.set(outcome="ok")
+            self.outcomes.append(StageOutcome(stage=stage, status="ok", elapsed=elapsed))
+        metrics.counter("pipeline.stage_runs", stage=stage, status="ok").inc()
+        metrics.histogram("pipeline.stage_seconds", stage=stage).observe(elapsed)
         return value, True
 
     # ------------------------------------------------------------------

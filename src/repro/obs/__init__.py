@@ -1,0 +1,130 @@
+"""repro.obs — unified telemetry: spans, metrics, structured exports.
+
+The observability layer of DESIGN.md §9.  One :class:`RunTelemetry`
+object rides through a pipeline run and collects
+
+* a hierarchical span trace (:mod:`repro.obs.trace`) — stages, per-link
+  fetches, retry/breaker/quarantine events, batched vision kernels;
+* a metrics registry (:mod:`repro.obs.metrics`) — the Figure-1 funnel
+  gauges plus the crawl/retry/cache/quarantine counters that PRs 1–3
+  kept in private stats objects;
+
+and :mod:`repro.obs.export` turns both into the JSONL trace file and
+run-manifest JSON behind ``repro run --trace-out`` / ``repro trace``.
+:mod:`repro.obs.log` supplies the structured CLI logging.
+
+Tracing is zero-cost when disabled: the default recorder is
+:data:`~repro.obs.trace.NULL_TRACER` and every instrumented call is an
+unconditional no-op (< 3 % end-to-end with *full* tracing on, gated by
+``benchmarks/bench_o1_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .log import JsonLogFormatter, get_logger, setup_logging
+from .metrics import (
+    Counter,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    is_timing_metric,
+)
+from .trace import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunTelemetry",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "get_logger",
+    "is_timing_metric",
+    "setup_logging",
+]
+
+
+class RunTelemetry:
+    """One run's tracer + metrics registry + stage funnel.
+
+    Created per :meth:`EwhoringPipeline.run` (a fresh registry each run;
+    the tracer defaults to the shared no-op recorder) and carried out on
+    :attr:`PipelineReport.telemetry`, where the exporters pick it up.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Any] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._funnel: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tracing_enabled(self) -> bool:
+        return bool(getattr(self.tracer, "enabled", False))
+
+    def funnel_row(self, stage: str, count: Optional[int]) -> None:
+        """Record one Figure-1 attrition row (``None`` = unavailable).
+
+        Rows keep insertion order — the funnel is a table, not a bag of
+        metrics — and each count is mirrored as a ``funnel.<stage>``
+        gauge so generic metric consumers see it too.
+        """
+        count = None if count is None else int(count)
+        self._funnel.append({"stage": stage, "count": count})
+        if count is not None:
+            self.metrics.gauge(f"funnel.{stage}").set(count)
+
+    def funnel(self) -> List[Dict[str, Any]]:
+        """The recorded funnel rows, in pipeline order."""
+        return [dict(row) for row in self._funnel]
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (funnel + metrics + span counts)."""
+        return {
+            "funnel": self.funnel(),
+            "metrics": self.metrics.snapshot(),
+            "tracing_enabled": self.tracing_enabled,
+            "n_spans": len(self.tracer.spans()),
+            "n_events": getattr(self.tracer, "n_events", 0),
+        }
+
+    def deterministic_snapshot(self) -> dict:
+        """Funnel + non-timing metrics: identical across same-seed runs."""
+        return {
+            "funnel": self.funnel(),
+            "metrics": self.metrics.deterministic_snapshot(),
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Short human-readable rendering for the CLI footer."""
+        lines = []
+        rendered = ", ".join(
+            f"{row['stage']}={row['count'] if row['count'] is not None else '-'}"
+            for row in self._funnel
+        )
+        if rendered:
+            lines.append(f"funnel: {rendered}")
+        lines.append(
+            f"metrics: {len(self.metrics)} recorded; tracing "
+            + (
+                f"on ({len(self.tracer.spans())} spans, "
+                f"{getattr(self.tracer, 'n_events', 0)} events)"
+                if self.tracing_enabled
+                else "off"
+            )
+        )
+        return lines

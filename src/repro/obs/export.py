@@ -1,0 +1,360 @@
+"""Structured telemetry sinks: JSONL traces, run manifests, renderers.
+
+Three artifacts leave a run:
+
+* the **trace file** (``repro run --trace-out t.jsonl``) — JSON Lines:
+  one ``meta`` header line, then one line per finished span (events
+  inlined), sorted by start offset.  Fully self-describing: the header
+  carries the funnel and stage table so ``repro trace t.jsonl`` can
+  render a flame summary without the world or the report;
+* the **run manifest** (``t.manifest.json`` next to the trace) — the
+  auditable provenance record of every derived number: seed, config,
+  component versions, the Figure-1 stage funnel, per-stage outcomes,
+  the full metric snapshot, the top-N slowest spans, and the
+  quarantine/vision-cache/crawl statistic snapshots;
+* **renderers** — :func:`render_trace` / :func:`render_funnel` turn a
+  read-back trace into the per-stage flame summary and funnel table the
+  ``repro trace`` subcommand prints.
+
+Determinism contract: :func:`deterministic_manifest_view` strips every
+timing-bearing field (creation stamp, span durations and counts, stage
+elapsed times, ``*_seconds`` metrics); what remains must be identical
+across runs of the same seed — property-tested in
+``tests/test_obs_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .metrics import is_timing_metric
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "build_manifest",
+    "deterministic_manifest_view",
+    "manifest_path_for",
+    "read_trace",
+    "render_funnel",
+    "render_trace",
+    "write_manifest",
+    "write_trace",
+]
+
+TRACE_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 1
+
+#: The exact top-level key set of a run manifest — the schema-stability
+#: contract asserted by ``tests/test_obs_export.py``.  Extend it
+#: deliberately (and bump :data:`MANIFEST_SCHEMA_VERSION` on breaking
+#: changes), never accidentally.
+MANIFEST_KEYS = (
+    "schema_version",
+    "kind",
+    "created_unix",
+    "seed",
+    "config",
+    "versions",
+    "degraded",
+    "funnel",
+    "stages",
+    "metrics",
+    "slowest_spans",
+    "n_spans",
+    "n_events",
+    "quarantine",
+    "vision_cache",
+    "crawl",
+)
+
+
+# ----------------------------------------------------------------------
+# Trace file (JSONL)
+# ----------------------------------------------------------------------
+def write_trace(
+    path: Union[str, Path],
+    spans: Sequence[Any],
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a JSONL trace: one ``meta`` line, then one line per span.
+
+    ``spans`` may be :class:`~repro.obs.trace.Span` objects or already
+    dict-shaped records (anything with ``as_dict``/mapping semantics).
+    """
+    path = Path(path)
+    header: Dict[str, Any] = {
+        "type": "meta",
+        "kind": "repro.trace",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "created_unix": time.time(),
+    }
+    if meta:
+        header.update(dict(meta))
+        header["type"] = "meta"  # callers cannot overwrite the line type
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True, default=str) + "\n")
+        for span in spans:
+            record = span.as_dict() if hasattr(span, "as_dict") else dict(span)
+            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a trace file back as ``(meta, span_records)``."""
+    meta: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            else:
+                raise ValueError(
+                    f"{path}:{i + 1}: unknown trace record type {kind!r}"
+                )
+    if not meta:
+        raise ValueError(f"{path}: missing trace meta header line")
+    return meta, spans
+
+
+def manifest_path_for(trace_path: Union[str, Path]) -> Path:
+    """The run-manifest path conventionally paired with a trace file."""
+    trace_path = Path(trace_path)
+    return trace_path.with_name(trace_path.stem + ".manifest.json")
+
+
+# ----------------------------------------------------------------------
+# Run manifest
+# ----------------------------------------------------------------------
+def _versions() -> Dict[str, str]:
+    import numpy
+    import scipy
+
+    from .. import __version__ as repro_version
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": repro_version,
+    }
+
+
+def build_manifest(
+    report: Any,
+    seed: Optional[int] = None,
+    config: Optional[Mapping[str, Any]] = None,
+    top_n_spans: int = 10,
+) -> Dict[str, Any]:
+    """The run manifest of one :class:`~repro.core.pipeline.PipelineReport`.
+
+    ``report.telemetry`` supplies the funnel and metric snapshot; the
+    stage table, quarantine ledger, vision-cache and crawl statistics
+    come from the report's own sections through the common
+    ``as_dict()`` snapshot protocol.
+    """
+    telemetry = getattr(report, "telemetry", None)
+    funnel = telemetry.funnel() if telemetry is not None else []
+    metrics = telemetry.metrics.snapshot() if telemetry is not None else []
+    spans = telemetry.tracer.spans() if telemetry is not None else []
+    n_events = telemetry.tracer.n_events if telemetry is not None else 0
+
+    slowest = sorted(spans, key=lambda s: s.duration, reverse=True)[
+        : max(0, top_n_spans)
+    ]
+    stages = [
+        {
+            "stage": outcome.stage,
+            "status": outcome.status,
+            "elapsed_seconds": outcome.elapsed,
+            "skipped_due_to": outcome.skipped_due_to,
+            "root_cause": outcome.root_cause,
+        }
+        for outcome in getattr(report, "stage_outcomes", [])
+    ]
+
+    quarantine = getattr(report, "quarantine", None)
+    cache_stats = getattr(report, "vision_cache_stats", None)
+    crawl = getattr(report, "crawl", None)
+
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "kind": "repro.run_manifest",
+        "created_unix": time.time(),
+        "seed": seed,
+        "config": dict(config) if config is not None else None,
+        "versions": _versions(),
+        "degraded": bool(getattr(report, "degraded", False)),
+        "funnel": funnel,
+        "stages": stages,
+        "metrics": metrics,
+        "slowest_spans": [
+            {
+                "name": span.name,
+                "duration_seconds": span.duration,
+                "attrs": dict(span.attributes),
+            }
+            for span in slowest
+        ],
+        "n_spans": len(spans),
+        "n_events": n_events,
+        "quarantine": quarantine.as_dict() if quarantine is not None else None,
+        "vision_cache": cache_stats.as_dict() if cache_stats is not None else None,
+        "crawl": crawl.stats.as_dict() if crawl is not None else None,
+    }
+
+
+def write_manifest(path: Union[str, Path], manifest: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def deterministic_manifest_view(manifest: Mapping[str, Any]) -> Dict[str, Any]:
+    """The manifest minus every timing-bearing field.
+
+    Drops ``created_unix``, ``versions`` (environment, not measurement),
+    ``slowest_spans``/``n_spans``/``n_events`` (present only when
+    tracing is on), per-stage ``elapsed_seconds`` and every
+    ``*_seconds`` metric.  Two runs of one seed must agree on the
+    result exactly — with tracing on, off, or mixed.
+    """
+    view = dict(manifest)
+    for key in ("created_unix", "versions", "slowest_spans", "n_spans", "n_events"):
+        view.pop(key, None)
+    view["stages"] = [
+        {k: v for k, v in stage.items() if k != "elapsed_seconds"}
+        for stage in manifest.get("stages", [])
+    ]
+    view["metrics"] = [
+        m for m in manifest.get("metrics", []) if not is_timing_metric(m["name"])
+    ]
+    return view
+
+
+# ----------------------------------------------------------------------
+# Renderers (the ``repro trace`` subcommand)
+# ----------------------------------------------------------------------
+def render_funnel(funnel: Sequence[Mapping[str, Any]]) -> str:
+    """The Figure-1 attrition table: one row per funnel stage."""
+    if not funnel:
+        return "no funnel recorded"
+    width = max(len(str(row["stage"])) for row in funnel)
+    lines = [f"{'stage':<{width}}  {'count':>10}"]
+    previous: Optional[int] = None
+    for row in funnel:
+        count = row.get("count")
+        rendered = "-" if count is None else f"{count:,}"
+        note = ""
+        if count is not None and previous not in (None, 0):
+            note = f"  ({count / previous:6.1%} of previous)"
+        lines.append(f"{row['stage']:<{width}}  {rendered:>10}{note}")
+        if count is not None:
+            previous = count
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_trace(
+    meta: Mapping[str, Any],
+    spans: Sequence[Mapping[str, Any]],
+    max_depth: int = 6,
+) -> str:
+    """Per-stage flame summary + funnel table of a read-back trace.
+
+    Spans sharing one ancestry *path* (e.g. the thousands of
+    ``crawl.fetch`` spans under ``stage.url_crawl``) are aggregated into
+    a single line with count / total / mean / max, so the summary stays
+    one screen regardless of corpus size.  Siblings render in
+    total-duration order.
+    """
+    # path (tuple of names root→leaf) → aggregate
+    by_id: Dict[Any, Mapping[str, Any]] = {s["id"]: s for s in spans}
+    paths: Dict[Tuple[str, ...], Dict[str, float]] = {}
+    path_cache: Dict[Any, Tuple[str, ...]] = {}
+
+    def path_of(span: Mapping[str, Any]) -> Tuple[str, ...]:
+        cached = path_cache.get(span["id"])
+        if cached is not None:
+            return cached
+        parent = by_id.get(span.get("parent"))
+        path = (path_of(parent) if parent is not None else ()) + (span["name"],)
+        path_cache[span["id"]] = path
+        return path
+
+    n_events = 0
+    n_errors = 0
+    for span in spans:
+        path = path_of(span)
+        agg = paths.setdefault(
+            path, {"count": 0, "total": 0.0, "max": 0.0, "errors": 0}
+        )
+        duration = float(span.get("duration") or 0.0)
+        agg["count"] += 1
+        agg["total"] += duration
+        agg["max"] = max(agg["max"], duration)
+        if span.get("status") == "error":
+            agg["errors"] += 1
+            n_errors += 1
+        n_events += len(span.get("events", ()))
+
+    lines: List[str] = []
+    seed = meta.get("seed")
+    lines.append(
+        f"trace: {len(spans)} spans, {n_events} events, {n_errors} errors"
+        + (f", seed={seed}" if seed is not None else "")
+    )
+
+    def render_level(prefix: Tuple[str, ...], depth: int) -> None:
+        if depth > max_depth:
+            return
+        children = [
+            (path, agg)
+            for path, agg in paths.items()
+            if len(path) == len(prefix) + 1 and path[: len(prefix)] == prefix
+        ]
+        children.sort(key=lambda item: (-item[1]["total"], item[0]))
+        for path, agg in children:
+            indent = "  " * depth
+            count = int(agg["count"])
+            label = path[-1] if count == 1 else f"{path[-1]} ×{count}"
+            detail = f"total={_format_seconds(agg['total'])}"
+            if count > 1:
+                detail += (
+                    f" mean={_format_seconds(agg['total'] / count)}"
+                    f" max={_format_seconds(agg['max'])}"
+                )
+            if agg["errors"]:
+                detail += f" errors={int(agg['errors'])}"
+            lines.append(f"{indent}{label:<{max(1, 40 - 2 * depth)}} {detail}")
+            render_level(path, depth + 1)
+
+    lines.append("")
+    lines.append("-- flame summary --")
+    render_level((), 0)
+
+    funnel = meta.get("funnel") or []
+    if funnel:
+        lines.append("")
+        lines.append("-- funnel --")
+        lines.append(render_funnel(funnel))
+    return "\n".join(lines)

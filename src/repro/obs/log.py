@@ -1,0 +1,101 @@
+"""Structured logging setup for the CLI and library consumers.
+
+Replaces the CLI's ad-hoc ``print(..., file=sys.stderr)`` progress lines
+with the standard :mod:`logging` machinery under the ``repro`` logger
+namespace, in one of two formats:
+
+* **human** (default) — ``HH:MM:SS LEVEL name: message``;
+* **json** (``--log-json``) — one JSON object per line with ``ts``,
+  ``level``, ``logger``, ``msg`` and any structured ``extra`` fields,
+  machine-parseable alongside the JSONL trace files of
+  :mod:`repro.obs.export`.
+
+Library code obtains loggers through :func:`get_logger` and never
+configures handlers itself; :func:`setup_logging` is the single
+(idempotent) configuration entry point, called by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["JsonLogFormatter", "get_logger", "setup_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Attributes present on every LogRecord; anything else was passed via
+#: ``extra=`` and belongs in the structured payload.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, ``extra=`` fields included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class _HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL name: message`` on local time."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime("%H:%M:%S", time.localtime(record.created))
+        message = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            message = f"{message}\n{self.formatException(record.exc_info)}"
+        return f"{clock} {record.levelname.lower():<7} {record.name}: {message}"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child logger."""
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def setup_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: repeated calls replace the previously installed handler
+    (tests call this freely).  ``stream`` defaults to ``sys.stderr`` —
+    resolved at call time so pytest capture works.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter() if json_mode else _HumanFormatter())
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

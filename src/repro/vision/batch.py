@@ -36,6 +36,7 @@ from ..media.validate import (
     NonFinitePixelError,
     WrongShapeError,
 )
+from ..obs.trace import NULL_TRACER
 from .bits import hamming_matrix, pack_bits_rows, popcount
 from .photodna import _HASH_GRID, _resize_axis, _to_grayscale, robust_hash
 
@@ -157,7 +158,7 @@ def _thumbnails_uniform(
         thumbs[start : start + c] = small
 
 
-def hash_batch(rasters: Sequence[np.ndarray]) -> np.ndarray:
+def hash_batch(rasters: Sequence[np.ndarray], tracer=None) -> np.ndarray:
     """64-bit DCT perceptual hashes of many rasters, as a ``uint64`` array.
 
     Pipeline per image is exactly :func:`robust_hash` — grayscale →
@@ -167,9 +168,17 @@ def hash_batch(rasters: Sequence[np.ndarray]) -> np.ndarray:
     packing is a single vectorised shift/sum instead of ``64n`` Python
     loop iterations.
 
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`-shaped recorder, used
+    by direct callers outside the :class:`~repro.vision.cache.
+    VisionCache` batching path, which already spans its own calls) wraps
+    the kernel in a ``vision.hash_batch`` span carrying the image count.
+
     Returns an empty array for an empty input.  Results are
     bit-identical to ``[robust_hash(r) for r in rasters]``.
     """
+    if tracer is not None and tracer is not NULL_TRACER:
+        with tracer.span("vision.hash_batch", n_images=len(rasters)):
+            return hash_batch(rasters)
     thumbs = prepare_thumbnails(rasters)
     n = thumbs.shape[0]
     if n == 0:

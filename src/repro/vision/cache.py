@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import NULL_TRACER
+
 __all__ = ["VisionCache", "VisionCacheStats"]
 
 #: The memoisable per-image quantities.
@@ -63,6 +65,16 @@ class VisionCacheStats:
             f"entries={self.n_entries}"
         )
 
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (manifest / export use, DESIGN.md §9)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "n_entries": self.n_entries,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class VisionCache:
     """LRU cache of per-image vision quantities keyed by content digest.
@@ -72,7 +84,7 @@ class VisionCache:
     granularity: all memoised fields of the evicted digest go together.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None, tracer=None):
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive or None")
         self.max_entries = max_entries
@@ -81,6 +93,17 @@ class VisionCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def set_tracer(self, tracer) -> None:
+        """Install the run's span recorder (``None`` restores the no-op).
+
+        The pipeline owns one cache across runs, so each
+        :meth:`EwhoringPipeline.run` re-points the cache at its own
+        tracer; batched computations then emit ``vision.hash_batch``
+        spans under whichever stage triggered them.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def get(self, digest: str, field: str):
@@ -156,7 +179,12 @@ class VisionCache:
             else:
                 slots.append(i)
         if missing_digests:
-            computed = compute_batch(missing_rasters)
+            with self._tracer.span(
+                "vision.hash_batch",
+                n_requested=len(keyed_rasters),
+                n_missing=len(missing_digests),
+            ):
+                computed = compute_batch(missing_rasters)
             for digest, value in zip(missing_digests, computed):
                 as_int = int(value)
                 self.put(digest, "hash", as_int)

@@ -38,10 +38,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
 from ..media.validate import UnexpectedResourceError, validate_raster
+from ..obs.trace import NULL_TRACER
 from .checkpoint import CrawlCheckpoint, link_key
 from .faults import stable_uniform
 from .internet import FetchStatus, SimulatedInternet
-from .retry import BreakerBoard, RetryPolicy
+from .retry import BreakerBoard, BreakerState, RetryPolicy
 from .url import Url
 
 if TYPE_CHECKING:  # import cycle: repro.core.quarantine ← repro.web
@@ -230,6 +231,26 @@ class CrawlStats:
             n_transient_faults=int(data.get("n_transient_faults", 0)),
         )
 
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (telemetry / manifest use).
+
+        Unlike :meth:`to_dict` (the checkpoint wire format, round-
+        tripped by :meth:`from_dict`) this adds the derived ``n_ok``
+        and sorts the label maps for stable JSON output.
+        """
+        return {
+            "n_links": self.n_links,
+            "n_ok": self.n_ok,
+            "by_status": dict(
+                sorted((s.value, c) for s, c in self.by_status.items())
+            ),
+            "by_domain": dict(sorted(self.by_domain.items())),
+            "n_retries": self.n_retries,
+            "n_giveups": self.n_giveups,
+            "n_breaker_skips": self.n_breaker_skips,
+            "n_transient_faults": self.n_transient_faults,
+        }
+
 
 @dataclass
 class CrawlResult:
@@ -244,6 +265,10 @@ class CrawlResult:
     #: Records excised at the ingest boundary (corrupt payloads,
     #: unexpected resources) during *this* crawl.
     quarantined: List["QuarantineRecord"] = field(default_factory=list)
+    #: Aggregate circuit-breaker summary at crawl end (see
+    #: :meth:`~repro.web.retry.BreakerBoard.as_dict`); telemetry only,
+    #: deliberately excluded from :meth:`digest`.
+    breaker_summary: Optional[dict] = None
 
     @property
     def n_quarantined(self) -> int:
@@ -349,6 +374,7 @@ class Crawler:
         checkpoint_every: int = 16,
         quarantine: Optional["Quarantine"] = None,
         stage: str = "url_crawl",
+        tracer=None,
     ) -> CrawlResult:
         """Crawl all links; OK images are downloaded, OK packs unpacked.
 
@@ -369,7 +395,15 @@ class Crawler:
         created so a bad payload can never abort the crawl loop.  The
         records admitted by *this* crawl surface as
         :attr:`CrawlResult.quarantined` either way.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`-shaped recorder,
+        default no-op) receives one ``crawl.fetch`` span per fetched
+        link — attributed with domain, link kind, final status and
+        attempt count, carrying the retry/backoff/breaker events of its
+        resolution — plus ``crawl.replay`` events for links settled from
+        the checkpoint.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         if quarantine is None:
             from ..core.quarantine import Quarantine
 
@@ -415,6 +449,10 @@ class Crawler:
                 key = link_key(url_str, occurrence)
                 entry = ckpt.outcome(key)
                 if entry is not None:
+                    tracer.event(
+                        "crawl.replay", domain=link.url.host,
+                        status=entry["status"],
+                    )
                     self._replay(link, entry, preview_images, pack_images,
                                  packs, seen_pack_ids, attempt_logs,
                                  quarantine, stage)
@@ -422,16 +460,22 @@ class Crawler:
             else:
                 key = ""
 
-            final_status, final_attempt, log, resource, clock, budget_spent = (
-                self._fetch_with_retry(link, stats, breakers, clock, budget_spent)
-            )
-            stats.record(link.url.host, final_status)
-            if log is not None:
-                attempt_logs.append(log)
-            if final_status is FetchStatus.OK:
-                self._collect(link, resource, preview_images,
-                              pack_images, packs, seen_pack_ids,
-                              quarantine, stage)
+            with tracer.span(
+                "crawl.fetch", domain=link.url.host, kind=link.link_kind
+            ) as span:
+                final_status, final_attempt, log, resource, clock, budget_spent = (
+                    self._fetch_with_retry(
+                        link, stats, breakers, clock, budget_spent, tracer
+                    )
+                )
+                stats.record(link.url.host, final_status)
+                if log is not None:
+                    attempt_logs.append(log)
+                span.set(status=final_status.value, attempts=final_attempt + 1)
+                if final_status is FetchStatus.OK:
+                    self._collect(link, resource, preview_images,
+                                  pack_images, packs, seen_pack_ids,
+                                  quarantine, stage)
 
             if ckpt is not None:
                 ckpt.mark(key, final_status.value, final_attempt,
@@ -459,6 +503,7 @@ class Crawler:
             stats=stats,
             attempt_logs=attempt_logs,
             quarantined=list(quarantine.records[quarantine_start:]),
+            breaker_summary=breakers.as_dict(),
         )
 
     # ------------------------------------------------------------------
@@ -469,6 +514,7 @@ class Crawler:
         breakers: BreakerBoard,
         clock: float,
         budget_spent: int,
+        tracer=None,
     ) -> Tuple[FetchStatus, int, Optional[LinkAttemptLog], object, float, int]:
         """Resolve one link through breaker + retry policy.
 
@@ -477,7 +523,13 @@ class Crawler:
         whose fetch produced ``final_status`` — re-fetching at that index
         reproduces the outcome exactly (this is what checkpoint replay
         relies on).
+
+        The retry engine narrates itself to ``tracer``: one
+        ``retry.attempt`` event per transient outcome, ``retry.backoff``
+        per sleep, ``retry.giveup`` on exhaustion, and
+        ``breaker.open``/``breaker.skip`` on circuit transitions.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         policy = self._policy
         url_str = str(link.url)
         host = link.url.host
@@ -488,6 +540,7 @@ class Crawler:
             # without this the breaker could never cool down mid-crawl.
             clock += policy.attempt_cost
             stats.n_breaker_skips += 1
+            tracer.event("breaker.skip", domain=host)
             log = LinkAttemptLog(
                 url=url_str,
                 attempts=[],
@@ -513,7 +566,16 @@ class Crawler:
                 return status, attempt, log, result.resource, clock, budget_spent
 
             stats.n_transient_faults += 1
+            tracer.event(
+                "retry.attempt", domain=host, attempt=attempt, status=status.value
+            )
+            state_before = breaker.state
             breaker.record_failure(clock)
+            if (
+                breaker.state is BreakerState.OPEN
+                and state_before is not BreakerState.OPEN
+            ):
+                tracer.event("breaker.open", domain=host, n_opens=breaker.n_opens)
             budget_ok = (
                 policy.retry_budget is None or budget_spent < policy.retry_budget
             )
@@ -525,6 +587,10 @@ class Crawler:
             if not can_retry:
                 attempts.append(LinkAttempt(attempt=attempt, status=status))
                 stats.n_giveups += 1
+                tracer.event(
+                    "retry.giveup", domain=host, attempts=attempt + 1,
+                    status=status.value, budget_exhausted=not budget_ok,
+                )
                 log = LinkAttemptLog(
                     url=url_str, attempts=attempts, final_status=status, gave_up=True
                 )
@@ -540,6 +606,7 @@ class Crawler:
                 u = stable_uniform(self._jitter_seed, url_str, str(attempt), "jitter")
                 delay = policy.backoff_delay(attempt, u)
             attempts.append(LinkAttempt(attempt=attempt, status=status, delay=delay))
+            tracer.event("retry.backoff", domain=host, attempt=attempt, delay=delay)
             clock += delay
             budget_spent += 1
             stats.n_retries += 1

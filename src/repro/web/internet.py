@@ -146,6 +146,12 @@ class SimulatedInternet:
         self._origin_urls: Dict[str, List[Url]] = {}
         self._fault_injector = fault_injector
         self._payload_injector = payload_injector
+        # Lifetime fetch accounting (telemetry).  Cumulative over the
+        # internet's lifetime; per-run consumers (the pipeline's metric
+        # mirror) difference ``n_fetch_calls`` around their run.
+        self._n_fetch_calls = 0
+        self._n_injected_faults = 0
+        self._fetches_by_host: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -268,11 +274,17 @@ class SimulatedInternet:
         """
         key = str(url)
         parsed = url if isinstance(url, Url) else normalize_url(key)
+        self._n_fetch_calls += 1
+        if parsed is not None:
+            self._fetches_by_host[parsed.host] = (
+                self._fetches_by_host.get(parsed.host, 0) + 1
+            )
         # Transient faults fire before the registry lookup: a timeout
         # reveals nothing about whether the link is alive.
         if self._fault_injector is not None and parsed is not None:
             fault = self._fault_injector.sample(parsed.host, key, attempt)
             if fault is not None:
+                self._n_injected_faults += 1
                 return FetchResult(
                     url=parsed, status=fault.status, retry_after=fault.retry_after
                 )
@@ -301,6 +313,25 @@ class SimulatedInternet:
     @property
     def n_hosted(self) -> int:
         return len(self._hosted)
+
+    # -- fetch accounting (telemetry) ----------------------------------
+    @property
+    def n_fetch_calls(self) -> int:
+        """Lifetime :meth:`fetch` invocations (retries included)."""
+        return self._n_fetch_calls
+
+    def fetch_stats(self) -> dict:
+        """Snapshot-protocol view of the lifetime fetch accounting."""
+        return {
+            "n_fetch_calls": self._n_fetch_calls,
+            "n_injected_faults": self._n_injected_faults,
+            "n_hosts_fetched": len(self._fetches_by_host),
+            "top_hosts": dict(
+                sorted(
+                    self._fetches_by_host.items(), key=lambda kv: (-kv[1], kv[0])
+                )[:10]
+            ),
+        }
 
     def region_of(self, domain: str) -> Optional[str]:
         """Hosting region of an origin domain (for §4.3 IWF statistics)."""

@@ -62,6 +62,17 @@ class RetryPolicy:
         if self.retry_budget is not None and self.retry_budget < 0:
             raise ValueError("retry_budget must be >= 0 when set")
 
+    def as_dict(self) -> dict:
+        """Snapshot-protocol view (manifest / export use)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "retry_budget": self.retry_budget,
+            "honor_retry_after": self.honor_retry_after,
+            "attempt_cost": self.attempt_cost,
+        }
+
     def backoff_delay(self, attempt: int, u: float) -> float:
         """Full-jitter backoff for the given zero-based ``attempt``.
 
@@ -200,6 +211,26 @@ class BreakerBoard:
     def total_opens(self) -> int:
         """Trip events across all domains (including re-opens)."""
         return sum(b.n_opens for b in self._breakers.values())
+
+    def states(self) -> Dict[str, int]:
+        """Breaker count per state name (``closed``/``open``/``half_open``)."""
+        counts: Dict[str, int] = {}
+        for breaker in self._breakers.values():
+            counts[breaker.state.value] = counts.get(breaker.state.value, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        """Snapshot-protocol *summary* view (telemetry / manifest use).
+
+        Aggregate counts only — the full per-domain state lives in
+        :meth:`snapshot`, which remains the checkpoint serialization.
+        """
+        return {
+            "n_domains": len(self._breakers),
+            "n_open": self.n_open,
+            "total_opens": self.total_opens,
+            "states": dict(sorted(self.states().items())),
+        }
 
     # -- checkpoint serialization --------------------------------------
     def snapshot(self) -> dict:

@@ -1,0 +1,239 @@
+"""Unit tests for trace/manifest export (repro.obs.export) and logging."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import RunTelemetry, Tracer, get_logger, setup_logging
+from repro.obs.export import (
+    MANIFEST_KEYS,
+    MANIFEST_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    build_manifest,
+    deterministic_manifest_view,
+    manifest_path_for,
+    read_trace,
+    render_funnel,
+    render_trace,
+    write_manifest,
+    write_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline.run", seed=7):
+        with tracer.span("stage.crawl"):
+            tracer.event("retry.attempt", domain="a.example", attempt=1)
+        with tracer.span("stage.nsfv", n=10):
+            pass
+    return tracer
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "t.jsonl"
+        write_trace(path, tracer.spans(), meta={"seed": 7, "funnel": []})
+        meta, spans = read_trace(path)
+        assert meta["kind"] == "repro.trace"
+        assert meta["schema_version"] == TRACE_SCHEMA_VERSION
+        assert meta["seed"] == 7
+        assert [s["name"] for s in spans] == [
+            "pipeline.run",
+            "stage.crawl",
+            "stage.nsfv",
+        ]
+        # events survive the round trip, inlined on their span
+        crawl = next(s for s in spans if s["name"] == "stage.crawl")
+        assert crawl["events"][0]["name"] == "retry.attempt"
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", _sample_tracer().spans())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # meta + 3 spans
+        for line in lines:
+            json.loads(line)
+
+    def test_meta_type_cannot_be_overwritten(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", [], meta={"type": "span"})
+        meta, spans = read_trace(path)
+        assert meta["type"] == "meta"
+        assert spans == []
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\n{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown trace record type"):
+            read_trace(path)
+
+    def test_missing_meta_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="missing trace meta"):
+            read_trace(path)
+
+    def test_manifest_path_convention(self):
+        assert manifest_path_for("out/run.jsonl").name == "run.manifest.json"
+
+
+class _FakeReport:
+    """Just enough PipelineReport surface for build_manifest."""
+
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+        self.degraded = False
+        self.stage_outcomes = []
+        self.quarantine = None
+        self.vision_cache_stats = None
+        self.crawl = None
+
+
+class TestManifest:
+    def _manifest(self):
+        tele = RunTelemetry(tracer=_sample_tracer())
+        tele.funnel_row("threads_selected", 100)
+        tele.funnel_row("tops_extracted", 10)
+        tele.metrics.counter("crawl.retries").inc(3)
+        tele.metrics.histogram("pipeline.stage_seconds", stage="x").observe(0.5)
+        return build_manifest(_FakeReport(tele), seed=7, config={"scale": 0.01})
+
+    def test_schema_stability(self):
+        manifest = self._manifest()
+        assert tuple(manifest.keys()) == MANIFEST_KEYS
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["kind"] == "repro.run_manifest"
+
+    def test_json_serialisable(self, tmp_path):
+        manifest = self._manifest()
+        path = write_manifest(tmp_path / "m.json", manifest)
+        loaded = json.loads(path.read_text())
+        assert loaded["seed"] == 7
+        assert loaded["config"] == {"scale": 0.01}
+        assert set(loaded.keys()) == set(MANIFEST_KEYS)
+
+    def test_funnel_and_metrics_embedded(self):
+        manifest = self._manifest()
+        assert manifest["funnel"][0] == {"stage": "threads_selected", "count": 100}
+        names = [m["name"] for m in manifest["metrics"]]
+        assert "crawl.retries" in names
+        assert manifest["n_spans"] == 3
+        assert manifest["n_events"] == 1
+        assert len(manifest["slowest_spans"]) == 3
+
+    def test_versions_present(self):
+        versions = self._manifest()["versions"]
+        assert set(versions) >= {"python", "numpy", "scipy", "repro"}
+
+    def test_deterministic_view_strips_timing(self):
+        manifest = self._manifest()
+        view = deterministic_manifest_view(manifest)
+        for absent in ("created_unix", "versions", "slowest_spans", "n_spans", "n_events"):
+            assert absent not in view
+        names = [m["name"] for m in view["metrics"]]
+        assert "pipeline.stage_seconds" not in names
+        assert "crawl.retries" in names
+        for stage in view["stages"]:
+            assert "elapsed_seconds" not in stage
+
+
+class TestRenderers:
+    def test_render_funnel_table(self):
+        funnel = [
+            {"stage": "threads", "count": 100},
+            {"stage": "tops", "count": 10},
+            {"stage": "lost", "count": None},
+        ]
+        text = render_funnel(funnel)
+        assert "threads" in text and "100" in text
+        assert "10.0% of previous" in text
+        assert "-" in text  # None renders as a dash
+        assert render_funnel([]) == "no funnel recorded"
+
+    def test_render_trace_aggregates_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("pipeline.run"):
+            with tracer.span("stage.crawl"):
+                for _ in range(3):
+                    with tracer.span("crawl.fetch"):
+                        pass
+        path = write_trace(
+            tmp_path / "t.jsonl",
+            tracer.spans(),
+            meta={"seed": 7, "funnel": [{"stage": "s", "count": 1}]},
+        )
+        meta, spans = read_trace(path)
+        text = render_trace(meta, spans)
+        assert "crawl.fetch ×3" in text
+        assert "pipeline.run" in text
+        assert "-- funnel --" in text
+        assert "seed=7" in text
+
+    def test_render_trace_counts_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("x")
+        text = render_trace({}, [s.as_dict() for s in tracer.spans()])
+        assert "1 errors" in text
+        assert "errors=1" in text
+
+
+class TestLogging:
+    def test_human_format(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_mode=False, stream=stream)
+        get_logger("cli").info("hello %s", "world")
+        line = stream.getvalue().strip()
+        assert line.endswith("repro.cli: hello world")
+        assert "info" in line
+
+    def test_json_format_includes_extra(self):
+        stream = io.StringIO()
+        setup_logging(level="debug", json_mode=True, stream=stream)
+        get_logger("cli").info("building world", extra={"seed": 7, "scale": 0.02})
+        payload = json.loads(stream.getvalue())
+        assert payload["msg"] == "building world"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.cli"
+        assert payload["seed"] == 7
+        assert payload["scale"] == 0.02
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        setup_logging(level="warning", json_mode=False, stream=stream)
+        get_logger().info("quiet")
+        get_logger().warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            setup_logging(level="chatty")
+
+    def test_idempotent_reconfiguration(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        setup_logging(stream=first)
+        setup_logging(stream=second)
+        logger = get_logger()
+        assert len(logger.handlers) == 1
+        logger.warning("only once")
+        assert first.getvalue() == ""
+        assert "only once" in second.getvalue()
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger("repro.web").name == "repro.web"
+
+    def teardown_method(self):
+        # restore a sane default so later tests logging to stderr work
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)

@@ -1,0 +1,207 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_name_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3) as span:
+            span.set(extra="yes")
+            span.inc("count")
+            span.inc("count", 2)
+        (finished,) = tracer.spans()
+        assert finished.name == "work"
+        assert finished.attributes == {"n": 3, "extra": "yes", "count": 3}
+        assert finished.status == "ok"
+
+    def test_timing_is_monotonic_and_closed(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sorted(tracer.spans(), key=lambda s: s.name)
+        for span in (inner, outer):
+            assert span.t_end is not None
+            assert span.t_end >= span.t_start >= 0.0
+            assert span.duration >= 0.0
+        # the child lives inside the parent's window
+        assert outer.t_start <= inner.t_start
+        assert inner.t_end <= outer.t_end
+
+    def test_open_span_duration_is_zero(self):
+        span = Span(name="open", span_id=1, parent_id=None, t_start=5.0)
+        assert span.duration == 0.0
+
+    def test_as_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("s", k="v") as span:
+            tracer.event("e", a=1)
+        record = tracer.spans()[0].as_dict()
+        assert record["type"] == "span"
+        assert record["name"] == "s"
+        assert record["attrs"] == {"k": "v"}
+        assert record["events"] == [
+            {"name": "e", "t": record["events"][0]["t"], "attrs": {"a": 1}}
+        ]
+        assert span is not None  # managed value is the span itself
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_span_ids_are_sequential_in_open_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+        ids = {s.name: s.span_id for s in tracer.spans()}
+        assert ids == {"a": 1, "b": 2, "c": 3}
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["first"].parent_id == root.span_id
+        assert by_name["second"].parent_id == root.span_id
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_threads_have_independent_ancestry(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work():
+            with tracer.span("thread_root") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main_root"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        # the worker's span must NOT parent under main's open span
+        assert seen["parent"] is None
+
+
+class TestErrorsAndEvents:
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.t_end is not None  # still closed
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("retry.attempt", domain="x.example", attempt=1)
+        (span,) = tracer.spans()
+        assert [e.name for e in span.events] == ["retry.attempt"]
+        assert span.events[0].attributes["domain"] == "x.example"
+        assert tracer.n_events == 1
+
+    def test_orphan_events_surface_as_synthetic_span(self):
+        tracer = Tracer()
+        tracer.event("lonely", k=1)
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["(orphan)"]
+        assert spans[0].span_id == 0
+        assert [e.name for e in spans[0].events] == ["lonely"]
+        assert tracer.n_events == 1
+
+    def test_len_counts_finished_spans(self):
+        tracer = Tracer()
+        assert len(tracer) == 0
+        with tracer.span("a"):
+            assert len(tracer) == 0  # not finished yet
+        assert len(tracer) == 1
+
+
+class TestDecorator:
+    def test_traced_wraps_calls(self):
+        tracer = Tracer()
+
+        @tracer.traced("fn_span", tagged=True)
+        def fn(x):
+            return x * 2
+
+        assert fn(21) == 42
+        (span,) = tracer.spans()
+        assert span.name == "fn_span"
+        assert span.attributes == {"tagged": True}
+
+    def test_traced_default_name_is_qualname(self):
+        tracer = Tracer()
+
+        @tracer.traced()
+        def some_function():
+            return 1
+
+        some_function()
+        assert tracer.spans()[0].name.endswith("some_function")
+
+
+class TestNullTracer:
+    def test_is_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        # span() returns one shared object: zero allocation on hot paths
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", k=1)
+
+    def test_all_operations_are_noops(self):
+        with NULL_TRACER.span("x", n=1) as span:
+            assert span.set(a=1) is span
+            span.inc("count", 5)
+        NULL_TRACER.event("e", k="v")
+        assert NULL_TRACER.spans() == []
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.n_events == 0
+        assert NULL_TRACER.current is None
+
+    def test_traced_decorator_returns_function_unchanged(self):
+        def fn():
+            return "ok"
+
+        assert NULL_TRACER.traced("name")(fn) is fn
+
+    def test_exceptions_propagate_through_null_span(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("doomed"):
+                raise ValueError("boom")
+
+
+class TestSpanEvent:
+    def test_event_as_dict(self):
+        evt = SpanEvent(name="e", t=1.5, attributes={"k": "v"})
+        assert evt.as_dict() == {"name": "e", "t": 1.5, "attrs": {"k": "v"}}
