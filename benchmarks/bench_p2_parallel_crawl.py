@@ -1,0 +1,317 @@
+"""P2 — sharded parallel crawl: throughput scaling + bit-identity.
+
+Benchmarks the §4.2 crawl executor (:mod:`repro.web.parallel`) with the
+crawl→vision streaming overlap, and enforces the tentpole invariant that
+parallel output is *bit-identical* to serial.
+
+Two workloads:
+
+* **throughput arena** — a balanced multi-domain link set with
+  *pre-rendered* payloads.  Rendering simulates the origin server's
+  work of producing the payload bytes; a real crawler downloads bytes,
+  it does not synthesise them, so the arena warms every raster first
+  and the timed region contains exactly the crawler's own work:
+  fetch + ingest validation + content digest + streamed ``hash_batch``
+  (the GIL-releasing path that sharding can actually scale).
+* **pipeline identity** — full ``run_pipeline`` worlds at bench scale,
+  serial vs ``workers ∈ {1, 4}``, for the ``none`` and ``hostile``
+  fault *and* payload profiles: ``CrawlResult.digest``, quarantine
+  ledger, and the deterministic telemetry views must match exactly.
+
+Emits ``benchmarks/results/BENCH_parallel.json``.  The ≥1.5× speedup
+gate (workers 4 vs 1) is asserted when the machine has ≥ 4 CPUs; on
+smaller machines the ratio is recorded and the gate is reported as
+``enforced: false`` (a thread pool cannot beat the clock on one core).
+
+Env knobs: ``REPRO_BENCH_PAR_DOMAINS`` (default 16),
+``REPRO_BENCH_PAR_LINKS`` (links per domain, default 12),
+``REPRO_BENCH_PAR_REPEATS`` (timing repeats, best-of, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_world, run_pipeline
+from repro.core.abuse_filter import StreamMatcher
+from repro.core.quarantine import Quarantine
+from repro.obs import RunTelemetry
+from repro.media import ImageKind, Pack, SyntheticImage, sample_latent
+from repro.synth import WorldConfig
+from repro.vision.cache import VisionCache
+from repro.web import (
+    Crawler,
+    FaultInjector,
+    HostingService,
+    LinkRecord,
+    PayloadFaultInjector,
+    RetryPolicy,
+    ServiceKind,
+    SimulatedInternet,
+    crawl_sharded,
+    fault_profile,
+    payload_profile,
+)
+
+from _common import BENCH_SCALE, BENCH_SEED
+
+RESULTS_DIR = Path(__file__).parent / "results"
+T0 = datetime(2014, 5, 1)
+
+N_DOMAINS = int(os.environ.get("REPRO_BENCH_PAR_DOMAINS", "16"))
+LINKS_PER_DOMAIN = int(os.environ.get("REPRO_BENCH_PAR_LINKS", "12"))
+REPEATS = int(os.environ.get("REPRO_BENCH_PAR_REPEATS", "3"))
+PIPELINE_SCALE = min(BENCH_SCALE, 0.02)
+
+SPEEDUP_TARGET = 1.5
+CPUS = os.cpu_count() or 1
+GATE_ENFORCED = CPUS >= 4
+
+
+# ---------------------------------------------------------------------------
+# Throughput arena: balanced domains, pre-rendered payloads
+# ---------------------------------------------------------------------------
+
+def _build_arena():
+    rng = np.random.default_rng(BENCH_SEED)
+    net = SimulatedInternet(seed=BENCH_SEED)
+    links = []
+    image_id = 1
+    for d in range(N_DOMAINS):
+        service = HostingService(
+            f"svc{d}", f"svc{d}.example", ServiceKind.IMAGE_SHARING, 1.0, 0.0, 0.0
+        )
+        for i in range(LINKS_PER_DOMAIN):
+            if i % 3 == 0:
+                images = [
+                    SyntheticImage(
+                        image_id + j,
+                        sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1),
+                    )
+                    for j in range(6)
+                ]
+                image_id += len(images)
+                resource = Pack(pack_id=1000 * d + i, model_id=1, images=images)
+            else:
+                resource = SyntheticImage(
+                    image_id, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1)
+                )
+                image_id += 1
+            url = net.host_on_service(service, resource, T0, False)
+            links.append(
+                LinkRecord(url=url, link_kind="pack" if i % 3 == 0 else "preview")
+            )
+    # Warm every raster: payload production is the origin server's cost,
+    # not the crawler's, so it is excluded from the timed region.
+    n_rasters = 0
+    for link in links:
+        hosted = net.hosted(link.url)
+        resource = hosted.resource
+        images = resource.images if isinstance(resource, Pack) else [resource]
+        for image in images:
+            _ = image.pixels
+            n_rasters += 1
+    return net, links, n_rasters
+
+
+def _timed_crawl(net, links, workers):
+    crawler = Crawler(
+        net,
+        retry_policy=RetryPolicy(max_attempts=3),
+        breaker_threshold=4,
+        breaker_cooldown=5.0,
+    )
+    stream = StreamMatcher(cache=VisionCache(), validate=True)
+    quarantine = Quarantine()
+    start = time.perf_counter()
+    result = crawl_sharded(
+        crawler,
+        links,
+        workers=workers,
+        quarantine=quarantine,
+        on_lane=stream.on_lane,
+    )
+    elapsed = time.perf_counter() - start
+    return result, quarantine, stream, elapsed
+
+
+def _best_time(net, links, workers):
+    best = None
+    result = quarantine = stream = None
+    for _ in range(REPEATS):
+        result, quarantine, stream, elapsed = _timed_crawl(net, links, workers)
+        best = elapsed if best is None else min(best, elapsed)
+    return result, quarantine, stream, best
+
+
+def _crawl_view(result, quarantine):
+    return {
+        "digest": result.digest(),
+        "stats": result.stats.to_dict(),
+        "breakers": result.breaker_summary,
+        "attempt_logs": [log.to_dict() for log in result.attempt_logs],
+        "quarantine": [record.to_dict() for record in quarantine.records],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Pipeline identity across worker counts and hostile profiles
+# ---------------------------------------------------------------------------
+
+def _pipeline_views(profile, workers):
+    kwargs = dict(seed=BENCH_SEED, scale=PIPELINE_SCALE)
+    if profile == "hostile":
+        kwargs.update(fault_profile="hostile", payload_profile="hostile")
+    world = build_world(WorldConfig(**kwargs))
+    telemetry = RunTelemetry()
+    report = run_pipeline(world, workers=workers, telemetry=telemetry)
+    return {
+        "digest": report.crawl.digest(),
+        "quarantine": [r.to_dict() for r in report.quarantine.records],
+        "funnel": telemetry.funnel(),
+        "snapshot": telemetry.deterministic_snapshot() if workers else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The benchmark
+# ---------------------------------------------------------------------------
+
+def test_p2_parallel_crawl(emit):
+    net, links, n_rasters = _build_arena()
+
+    # ---- identity on the arena, every profile ------------------------
+    for faults, payloads in (("none", "none"), ("hostile", "hostile")):
+        net.set_fault_injector(
+            None
+            if faults == "none"
+            else FaultInjector(fault_profile(faults), seed=21)
+        )
+        net.set_payload_injector(
+            None
+            if payloads == "none"
+            else PayloadFaultInjector(payload_profile(payloads), seed=33)
+        )
+        reference = None
+        for workers in (1, 2, 4):
+            result, quarantine, _, _ = _timed_crawl(net, links, workers)
+            view = _crawl_view(result, quarantine)
+            if reference is None:
+                reference = view
+            else:
+                assert view == reference, (
+                    f"arena identity broken: workers={workers} "
+                    f"faults={faults} payloads={payloads}"
+                )
+        net.set_fault_injector(None)
+        net.set_payload_injector(None)
+
+    # ---- throughput: workers 4 vs 1 on the clean arena ---------------
+    _, _, stream1, t1 = _best_time(net, links, 1)
+    result4, _, stream4, t4 = _best_time(net, links, 4)
+    assert stream4.n_streamed == stream1.n_streamed > 0
+    speedup = t1 / t4 if t4 > 0 else float("inf")
+
+    # ---- pipeline identity (serial vs workers, none/hostile) ---------
+    pipeline_identity = {}
+    for profile in ("none", "hostile"):
+        views = {w: _pipeline_views(profile, w) for w in (None, 1, 4)}
+        base = {k: v for k, v in views[None].items() if k != "snapshot"}
+        for workers in (1, 4):
+            trimmed = {k: v for k, v in views[workers].items() if k != "snapshot"}
+            assert trimmed == base, f"pipeline view mismatch: {profile}/{workers}"
+        assert views[1]["snapshot"] == views[4]["snapshot"]
+        pipeline_identity[profile] = {
+            "digest": base["digest"],
+            "n_quarantined": len(base["quarantine"]),
+        }
+
+    payload = {
+        "config": {
+            "n_domains": N_DOMAINS,
+            "links_per_domain": LINKS_PER_DOMAIN,
+            "n_links": len(links),
+            "n_rasters_prewarmed": n_rasters,
+            "repeats": REPEATS,
+            "seed": BENCH_SEED,
+            "pipeline_scale": PIPELINE_SCALE,
+            "cpus": CPUS,
+            "numpy": np.__version__,
+        },
+        "seconds": {"workers_1": round(t1, 4), "workers_4": round(t4, 4)},
+        "links_per_second": {
+            "workers_1": round(len(links) / t1, 1),
+            "workers_4": round(len(links) / t4, 1),
+        },
+        "speedup_4_vs_1": round(speedup, 3),
+        "gate": {
+            "threshold": SPEEDUP_TARGET,
+            "enforced": GATE_ENFORCED,
+            "passed": bool(speedup >= SPEEDUP_TARGET),
+            "note": (
+                "enforced on >=4-CPU machines; a thread pool cannot beat "
+                "the wall clock on fewer cores"
+            ),
+        },
+        "identity": {
+            "arena_profiles_checked": ["none/none", "hostile/hostile"],
+            "arena_digest": result4.digest(),
+            "pipeline": pipeline_identity,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "P2 parallel crawl "
+        f"(domains={N_DOMAINS}, links={len(links)}, cpus={CPUS})",
+        f"workers=1: {t1:.3f}s   workers=4: {t4:.3f}s   "
+        f"speedup={speedup:.2f}x (target {SPEEDUP_TARGET}x, "
+        f"gate {'ENFORCED' if GATE_ENFORCED else 'recorded only'})",
+        "identity: arena (none+hostile) and pipeline (none+hostile) "
+        "bit-identical across workers",
+    ]
+    emit("BENCH_parallel", "\n".join(lines))
+
+    if GATE_ENFORCED:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"parallel crawl speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_TARGET}x gate on a {CPUS}-CPU machine"
+        )
+
+
+def test_p2_checkpoint_round_trip(tmp_path):
+    """Interrupt a workers-4 crawl, resume serial (and the reverse):
+    the final digest equals an uninterrupted serial crawl."""
+    net, links, _ = _build_arena()
+    net.set_fault_injector(FaultInjector(fault_profile("hostile"), seed=21))
+    try:
+        def crawler():
+            return Crawler(
+                net,
+                retry_policy=RetryPolicy(max_attempts=3),
+                breaker_threshold=4,
+                breaker_cooldown=5.0,
+            )
+
+        baseline = crawler().crawl(links)
+        for first, second in ((4, None), (None, 4)):
+            path = tmp_path / f"ckpt-{first}-{second}.json"
+            split = len(links) // 2
+            crawler().crawl(
+                links[:split], checkpoint=str(path), checkpoint_every=5,
+                workers=first,
+            )
+            resumed = crawler().crawl(links, checkpoint=str(path), workers=second)
+            assert resumed.digest() == baseline.digest()
+            assert resumed.stats == baseline.stats
+    finally:
+        net.set_fault_injector(None)

@@ -66,6 +66,7 @@ def run_pipeline(
     checkpoint=None,
     stage_hooks=None,
     telemetry=None,
+    workers: Optional[int] = None,
 ) -> PipelineReport:
     """Run the full measurement over a world using its ground-truth oracles.
 
@@ -80,11 +81,19 @@ def run_pipeline(
     ``telemetry`` (a :class:`~repro.obs.RunTelemetry`) carries the run's
     span tracer and metrics registry — pass one built around an enabled
     :class:`~repro.obs.Tracer` to capture a trace (DESIGN.md §9).
+
+    ``workers`` runs the §4.2 crawl on the sharded parallel executor
+    with crawl→vision streaming overlap (DESIGN.md §10); ``None`` falls
+    back to the world's :attr:`~repro.synth.world.WorldConfig.
+    crawl_workers` (itself ``None`` = serial).  Results are bit-identical
+    for any worker count.
     """
     import math
 
     pipeline = pipeline_for_world(world, seed=seed)
     truth = world.forums
+    if workers is None:
+        workers = world.config.crawl_workers
     top_n = max(10, int(round(50 * math.sqrt(world.config.scale))))
     return pipeline.run(
         top_oracle=lambda thread_id: truth.thread_types.get(thread_id) == "top",
@@ -95,4 +104,5 @@ def run_pipeline(
         checkpoint=checkpoint,
         stage_hooks=stage_hooks,
         telemetry=telemetry,
+        crawl_workers=workers,
     )

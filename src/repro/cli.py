@@ -122,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade gracefully on stage failures (strict=False) instead "
              "of aborting the measurement",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the crawl on N sharded worker threads with crawl->vision "
+             "streaming overlap; results are bit-identical to the serial "
+             "crawl (default: serial)",
+    )
 
     p_tables = sub.add_parser("tables", help="run the measurement and write table files")
     add_world_args(p_tables)
@@ -279,6 +285,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         strict=not getattr(args, "lenient", False),
         checkpoint=getattr(args, "resume", None),
         telemetry=telemetry,
+        workers=getattr(args, "workers", None),
     )
     log.info("pipeline done [%.1fs]", time.perf_counter() - start)
     for line in telemetry.summary_lines():

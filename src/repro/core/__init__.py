@@ -1,6 +1,6 @@
 """The paper's contribution: the eWhoring measurement pipeline (§4–§6)."""
 
-from .abuse_filter import AbuseFilter, AbuseFilterResult
+from .abuse_filter import AbuseFilter, AbuseFilterResult, StreamMatcher
 from .actors import (
     ActorAnalyzer,
     ActorMetrics,
@@ -117,6 +117,7 @@ __all__ = [
     "StageFailure",
     "StageOutcome",
     "StageRunner",
+    "StreamMatcher",
     "TABLE2_LEXICONS",
     "TRADE_KEYWORDS",
     "TUTORIAL_KEYWORDS",

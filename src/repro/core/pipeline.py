@@ -47,7 +47,7 @@ from ..web.checkpoint import CrawlCheckpoint
 from ..web.crawler import CrawlResult, CrawledImage, Crawler
 from ..web.internet import SimulatedInternet
 from ..web.retry import RetryPolicy
-from .abuse_filter import AbuseFilter, AbuseFilterResult
+from .abuse_filter import AbuseFilter, AbuseFilterResult, StreamMatcher
 from .quarantine import Quarantine
 from .stage_runner import StageFailure, StageOutcome, StageRunner
 from .actors import (
@@ -209,6 +209,7 @@ class EwhoringPipeline:
         checkpoint: Optional[Union[str, Path, CrawlCheckpoint]] = None,
         stage_hooks: Optional[Mapping[str, Callable[[], None]]] = None,
         telemetry: Optional[RunTelemetry] = None,
+        crawl_workers: Optional[int] = None,
     ) -> PipelineReport:
         """Execute the full measurement and return the report.
 
@@ -224,6 +225,16 @@ class EwhoringPipeline:
         values are always recorded while span tracing stays
         zero-cost-off.  The same object rides out on
         :attr:`PipelineReport.telemetry`.
+
+        ``crawl_workers`` switches the §4.2 crawl to the sharded
+        parallel executor (per-domain lanes, see
+        :mod:`repro.web.parallel`) **and** overlaps it with the abuse
+        filter's hash work: lane completions stream through a
+        :class:`~repro.core.abuse_filter.StreamMatcher` while later
+        lanes are still crawling.  Every measured quantity — the crawl
+        digest, the quarantine ledger, the deterministic telemetry view
+        — is bit-identical for any worker count (``None`` = the serial
+        loop).
         """
         tele = telemetry if telemetry is not None else RunTelemetry()
         runner = StageRunner(strict=strict, hooks=stage_hooks, telemetry=tele)
@@ -237,7 +248,7 @@ class EwhoringPipeline:
             report = self._run_stages(
                 runner, tele, quarantine,
                 top_oracle, proof_oracle, annotate_n, train_fraction,
-                min_ce_posts, key_actor_top_n, checkpoint,
+                min_ce_posts, key_actor_top_n, checkpoint, crawl_workers,
             )
         return report
 
@@ -254,6 +265,7 @@ class EwhoringPipeline:
         min_ce_posts: int,
         key_actor_top_n: int,
         checkpoint: Optional[Union[str, Path, CrawlCheckpoint]],
+        crawl_workers: Optional[int] = None,
     ) -> PipelineReport:
         """The stage chain, executed inside the ``pipeline.run`` span."""
         fetch_calls_start = self.internet.n_fetch_calls
@@ -284,13 +296,24 @@ class EwhoringPipeline:
         def _stage_crawl():
             links = extract_links(self.dataset, tops)
             crawler = Crawler(self.internet, retry_policy=self.retry_policy)
-            return links, crawler.crawl(
+            stream: Optional[StreamMatcher] = None
+            if crawl_workers is not None:
+                # Crawl→vision overlap: finished lanes stream their
+                # images through validation + batched hashing while
+                # later lanes are still crawling.  The sweep below
+                # consumes the precomputed results in canonical order.
+                stream = StreamMatcher(cache=self.vision_cache, validate=True)
+            result = crawler.crawl(
                 links.all_links,
                 checkpoint=checkpoint,
                 quarantine=quarantine,
                 stage="url_crawl",
                 tracer=tele.tracer,
+                workers=crawl_workers,
+                on_lane=stream.on_lane if stream is not None else None,
+                metrics=tele.metrics,
             )
+            return links, result, stream
 
         crawl_out, _ = runner.run(
             "url_crawl",
@@ -298,7 +321,9 @@ class EwhoringPipeline:
             requires=("top_extraction",),
             context={"n_tops": len(tops) if tops is not None else 0},
         )
-        links, crawl = crawl_out if crawl_out is not None else (None, None)
+        links, crawl, stream = (
+            crawl_out if crawl_out is not None else (None, None, None)
+        )
 
         # ---- stage 3: abuse filter ----------------------------------
         def _stage_abuse():
@@ -309,7 +334,10 @@ class EwhoringPipeline:
                 cache=self.vision_cache,
             )
             abuse = abuse_filter.sweep(
-                crawl.all_images, dataset=self.dataset, quarantine=quarantine
+                crawl.all_images,
+                dataset=self.dataset,
+                quarantine=quarantine,
+                precomputed=stream,
             )
             clean_previews = [c for c in crawl.preview_images if abuse.is_clean(c)]
             clean_pack_images = [c for c in crawl.pack_images if abuse.is_clean(c)]

@@ -105,20 +105,31 @@ def _screenshot_background(kind: ImageKind, size: int, rng: np.random.Generator)
 
 
 def _landscape_background(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sky gradient over shaded ground, fully vectorised.
+
+    Bit-identical to the obvious per-row loop: the sky mix uses the same
+    ``row / max(horizon - 1, 1)`` float division per row, and the ground
+    shades come from one vectorised ``rng.uniform`` call, which PCG64
+    guarantees draws the same stream as ``size - horizon`` scalar calls
+    (see ``test_landscape_background_matches_row_loop``).
+    """
     pixels = np.zeros((size, size, 3), dtype=np.float64)
     horizon = int(size * rng.uniform(0.35, 0.6))
     sky_top = np.array([0.45, 0.68, 0.92])
     sky_bottom = np.array([0.75, 0.85, 0.96])
-    for row in range(horizon):
-        mix = row / max(horizon - 1, 1)
-        pixels[row, :, :] = sky_top * (1 - mix) + sky_bottom * mix
+    if horizon > 0:
+        mix = np.arange(horizon, dtype=np.float64) / max(horizon - 1, 1)
+        mix = mix[:, None, None]
+        pixels[:horizon, :, :] = (
+            sky_top[None, None, :] * (1 - mix) + sky_bottom[None, None, :] * mix
+        )
     # Ground: sometimes sandy/tan — the "colours resembling the human
     # body" failure mode the paper reports for hard-to-classify images.
     sandy = rng.random() < 0.15
     ground = np.array([0.80, 0.66, 0.48]) if sandy else np.array([0.30, 0.55, 0.25])
-    for row in range(horizon, size):
-        shade = rng.uniform(0.9, 1.05)
-        pixels[row, :, :] = np.clip(ground * shade, 0.0, 1.0)
+    if horizon < size:
+        shades = rng.uniform(0.9, 1.05, size=size - horizon)[:, None, None]
+        pixels[horizon:, :, :] = np.clip(ground[None, None, :] * shades, 0.0, 1.0)
     return pixels
 
 
@@ -174,17 +185,25 @@ def _photo_background(size: int, rng: np.random.Generator) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 def _paint_skin(pixels: np.ndarray, latent: ImageLatent, rng: np.random.Generator) -> None:
-    """Add elliptical skin-tone blobs until coverage reaches the target."""
+    """Add elliptical skin-tone blobs until coverage reaches the target.
+
+    Each blob's mask is evaluated only on the ellipse's bounding box
+    rather than the full grid — bit-identical ``covered`` output (the
+    per-element arithmetic is unchanged and the ellipse cannot extend
+    past its box; see ``test_paint_skin_matches_full_grid``) with an
+    order of magnitude less per-attempt work.  The scalar parameter
+    draws are untouched, so the RNG stream is consumed identically.
+    """
     size = latent.size
     tone = skin_tone_for_model(latent.model_id)
     target = latent.skin_fraction
     total_pixels = size * size
-    rows, cols = np.mgrid[0:size, 0:size]
     covered = np.zeros((size, size), dtype=bool)
+    n_covered = 0
 
     # Start with one dominant body blob, then add limbs until coverage.
     for attempt in range(64):
-        coverage = covered.sum() / total_pixels
+        coverage = n_covered / total_pixels
         if coverage >= target:
             break
         remaining = target - coverage
@@ -196,12 +215,25 @@ def _paint_skin(pixels: np.ndarray, latent: ImageLatent, rng: np.random.Generato
         centre_r = rng.uniform(0.2, 0.8) * size
         centre_c = rng.uniform(0.2, 0.8) * size
         angle = rng.uniform(0.0, np.pi)
-        dr = rows - centre_r
-        dc = cols - centre_c
-        rot_r = dr * np.cos(angle) + dc * np.sin(angle)
-        rot_c = -dr * np.sin(angle) + dc * np.cos(angle)
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        # Axis-aligned bounding box of the rotated ellipse (+1px guard
+        # against float fuzz at the rim).
+        half_r = np.sqrt((semi_major * cos_a) ** 2 + (semi_minor * sin_a) ** 2) + 1.0
+        half_c = np.sqrt((semi_major * sin_a) ** 2 + (semi_minor * cos_a) ** 2) + 1.0
+        r0 = max(int(np.floor(centre_r - half_r)), 0)
+        r1 = min(int(np.ceil(centre_r + half_r)) + 1, size)
+        c0 = max(int(np.floor(centre_c - half_c)), 0)
+        c1 = min(int(np.ceil(centre_c + half_c)) + 1, size)
+        if r0 >= r1 or c0 >= c1:
+            continue
+        dr = (np.arange(r0, r1, dtype=np.float64) - centre_r)[:, None]
+        dc = (np.arange(c0, c1, dtype=np.float64) - centre_c)[None, :]
+        rot_r = dr * cos_a + dc * sin_a
+        rot_c = -dr * sin_a + dc * cos_a
         mask = (rot_r / semi_major) ** 2 + (rot_c / semi_minor) ** 2 <= 1.0
-        covered |= mask
+        window = covered[r0:r1, c0:c1]
+        window |= mask
+        n_covered = int(covered.sum())
 
     shading = rng.uniform(0.92, 1.05, size=(size, size))[..., None]
     blob = np.clip(tone[None, None, :] * shading, 0.0, 1.0)
@@ -231,6 +263,14 @@ def _paint_words(pixels: np.ndarray, latent: ImageLatent, rng: np.random.Generat
 
     remaining = latent.word_count
     word_height = 2
+    # The word-placement draws are inherently sequential (each column
+    # position depends on the previous width/gap draw), so the loop keeps
+    # the exact scalar RNG sequence and only *records* span boundaries in
+    # a difference array; the painting itself is one vectorised cumsum +
+    # masked assignment instead of a slice write per word (bit-identical:
+    # same ink value at the same positions — see
+    # ``test_paint_words_matches_slice_loop``).
+    span_diff = np.zeros((size, size + 1), dtype=np.int16)
     for row_start in row_starts:
         if remaining <= 0:
             break
@@ -239,6 +279,9 @@ def _paint_words(pixels: np.ndarray, latent: ImageLatent, rng: np.random.Generat
             width = int(rng.integers(3, 7))
             if column + width >= size - panel_margin:
                 break
-            pixels[row_start : row_start + word_height, column : column + width, :] = ink
+            span_diff[row_start : row_start + word_height, column] += 1
+            span_diff[row_start : row_start + word_height, column + width] -= 1
             column += width + 2 + int(rng.integers(0, 2))
             remaining -= 1
+    mask = np.cumsum(span_diff[:, :-1], axis=1) > 0
+    pixels[mask] = ink

@@ -30,6 +30,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    is_runtime_metric,
     is_timing_metric,
 )
 from .trace import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
@@ -48,6 +49,7 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "get_logger",
+    "is_runtime_metric",
     "is_timing_metric",
     "setup_logging",
 ]

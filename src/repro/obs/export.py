@@ -31,7 +31,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from .metrics import is_timing_metric
+from .metrics import is_runtime_metric
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
@@ -241,7 +241,7 @@ def deterministic_manifest_view(manifest: Mapping[str, Any]) -> Dict[str, Any]:
         for stage in manifest.get("stages", [])
     ]
     view["metrics"] = [
-        m for m in manifest.get("metrics", []) if not is_timing_metric(m["name"])
+        m for m in manifest.get("metrics", []) if not is_runtime_metric(m["name"])
     ]
     return view
 

@@ -37,6 +37,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "is_runtime_metric",
     "is_timing_metric",
 ]
 
@@ -52,6 +53,22 @@ DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
 def is_timing_metric(name: str) -> bool:
     """True for metrics that carry wall-time (excluded from determinism)."""
     return name.endswith("_seconds") or name.endswith(".seconds")
+
+
+#: Name suffixes of metrics whose values depend on the *runtime* — wall
+#: time or thread scheduling — rather than on the world seed.
+_RUNTIME_SUFFIXES = ("_queue_depth_peak", ".queue_depth_peak", "_inflight")
+
+
+def is_runtime_metric(name: str) -> bool:
+    """True for metrics excluded from deterministic views.
+
+    Covers :func:`is_timing_metric` (``*_seconds``) plus
+    scheduling-dependent gauges — streaming queue depths, in-flight
+    counts — whose values vary with worker count and thread
+    interleaving even on a fixed seed.
+    """
+    return is_timing_metric(name) or name.endswith(_RUNTIME_SUFFIXES)
 
 
 def _labels_key(labels: Mapping[str, Any]) -> LabelsKey:
@@ -205,12 +222,14 @@ class MetricsRegistry:
         ]
 
     def deterministic_snapshot(self) -> List[dict]:
-        """The snapshot minus timing metrics (``*_seconds``).
+        """The snapshot minus runtime metrics (timing + queue depths).
 
-        Two runs over the same seed must agree on this view exactly —
-        the property test of ``tests/test_obs_pipeline.py``.
+        Two runs over the same seed — at *any* crawl worker count —
+        must agree on this view exactly; the property tests of
+        ``tests/test_obs_pipeline.py`` and
+        ``tests/test_parallel_crawl.py``.
         """
-        return [m for m in self.snapshot() if not is_timing_metric(m["name"])]
+        return [m for m in self.snapshot() if not is_runtime_metric(m["name"])]
 
     def as_dict(self) -> dict:
         """Snapshot-protocol alias used by the exporters."""

@@ -152,9 +152,22 @@ class ReverseImageIndex:
         max_results: Optional[int],
     ) -> ReverseSearchReport:
         hit_indices = np.flatnonzero(distances <= self.radius)
-        order = hit_indices[np.argsort(distances[hit_indices], kind="stable")]
-        if max_results is not None:
-            order = order[:max_results]
+        if max_results is not None and 0 < max_results < hit_indices.size:
+            # Top-k selection in O(n) instead of a full O(n log n) sort.
+            # The combined key is distance-major / index-minor — exactly
+            # the order a stable sort on distance produces — so the k
+            # smallest keys are precisely the first k rows of the full
+            # stable sort (tie-break stability preserved; distances are
+            # <= 64 and indices < n, so the key never overflows int64).
+            keys = distances[hit_indices].astype(np.int64) * np.int64(
+                len(self._copies)
+            ) + hit_indices.astype(np.int64)
+            part = np.argpartition(keys, max_results - 1)[:max_results]
+            order = hit_indices[part[np.argsort(keys[part])]]
+        else:
+            order = hit_indices[np.argsort(distances[hit_indices], kind="stable")]
+            if max_results is not None:
+                order = order[:max_results]
         matches = tuple(
             ReverseMatch(
                 copy=self._copies[int(i)],

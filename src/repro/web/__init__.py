@@ -17,9 +17,12 @@ from .crawler import (
     Crawler,
     LinkAttempt,
     LinkAttemptLog,
+    LinkOutcome,
     LinkRecord,
+    ShardState,
     content_digest,
 )
+from .parallel import Lane, ReorderBuffer, crawl_sharded, partition_lanes
 from .faults import (
     FAULT_PROFILES,
     DomainFaultSpec,
@@ -82,17 +85,21 @@ __all__ = [
     "HostedResource",
     "HostingService",
     "IMAGE_SHARING_SERVICES",
+    "Lane",
     "LinkAttempt",
     "LinkAttemptLog",
+    "LinkOutcome",
     "LinkRecord",
     "OriginSite",
     "PAYLOAD_PROFILES",
     "PayloadFaultInjector",
     "PayloadFaultProfile",
     "PayloadFaultSpec",
+    "ReorderBuffer",
     "RetryPolicy",
     "ScriptedFaultInjector",
     "ServiceKind",
+    "ShardState",
     "SimulatedInternet",
     "TRANSIENT_STATUSES",
     "TransientFault",
@@ -101,10 +108,12 @@ __all__ = [
     "all_services",
     "content_digest",
     "corrupt_raster",
+    "crawl_sharded",
     "extract_urls",
     "fault_profile",
     "link_key",
     "normalize_url",
+    "partition_lanes",
     "payload_profile",
     "registrable_domain",
     "service_by_domain",

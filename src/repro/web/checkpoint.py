@@ -63,10 +63,17 @@ class CrawlCheckpoint:
     stats: Optional[dict] = None
     #: Serialized :class:`~repro.web.retry.BreakerBoard` state.
     breakers: Optional[dict] = None
-    #: Virtual clock at last save, seconds.
+    #: Max per-domain virtual clock at last save, seconds (summary; the
+    #: authoritative per-domain values live in :attr:`domain_clocks`).
     clock: float = 0.0
     #: Retries spent against the crawl's retry budget.
     budget_spent: int = 0
+    #: Per-domain virtual clocks, seconds.  Domain-scoped so a crawl
+    #: interrupted under any worker count resumes under any other —
+    #: serial and sharded checkpoints share this wire format.  Older
+    #: checkpoints without the field fall back to :attr:`clock` for
+    #: every domain.
+    domain_clocks: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -86,6 +93,10 @@ class CrawlCheckpoint:
             breakers=data.get("breakers"),
             clock=float(data.get("clock", 0.0)),
             budget_spent=int(data.get("budget_spent", 0)),
+            domain_clocks={
+                str(d): float(t)
+                for d, t in data.get("domain_clocks", {}).items()
+            },
         )
 
     def save(self, path: Optional[Union[str, Path]] = None) -> Optional[Path]:
@@ -100,11 +111,30 @@ class CrawlCheckpoint:
             "breakers": self.breakers,
             "clock": self.clock,
             "budget_spent": self.budget_spent,
+            "domain_clocks": self.domain_clocks,
         }
         tmp = target.with_suffix(target.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         os.replace(tmp, target)
         return target
+
+    # ------------------------------------------------------------------
+    def base_clock(self) -> float:
+        """Starting clock for domains absent from :attr:`domain_clocks`.
+
+        New-format checkpoints record every touched domain, so unseen
+        domains start fresh at 0.0.  A legacy checkpoint (progress but
+        no per-domain clocks) falls back to its scalar :attr:`clock` —
+        the best available approximation of its old global-clock
+        semantics.
+        """
+        if not self.domain_clocks and self.completed:
+            return self.clock
+        return 0.0
+
+    def clock_for(self, domain: str) -> float:
+        """The resumed virtual clock for ``domain``."""
+        return self.domain_clocks.get(domain, self.base_clock())
 
     # ------------------------------------------------------------------
     def is_complete(self, key: str) -> bool:

@@ -24,6 +24,14 @@ against the real internet) is built in:
   ``(url, attempt)``, and breaker/clock/budget state rides along in the
   checkpoint).
 
+The virtual clock is **domain-scoped**: each domain advances its own
+clock by the attempt costs and backoff delays of *its* links, and
+breaker cooldowns are measured against it.  Because retry state,
+breakers and clocks are all per-domain, the resolution of a link
+depends only on its domain's state and ``(url, attempt)`` — which is
+what makes the sharded executor in :mod:`repro.web.parallel`
+bit-identical to this serial loop for any worker count.
+
 With no fault injector installed every fetch settles on its first
 attempt and the crawler behaves exactly like the pre-fault version.
 """
@@ -33,7 +41,18 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field, replace
 from datetime import datetime
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
@@ -55,7 +74,9 @@ __all__ = [
     "Crawler",
     "LinkAttempt",
     "LinkAttemptLog",
+    "LinkOutcome",
     "LinkRecord",
+    "ShardState",
     "content_digest",
 ]
 
@@ -253,6 +274,62 @@ class CrawlStats:
 
 
 @dataclass
+class ShardState:
+    """Mutable crawl state for one shard (or a whole serial crawl).
+
+    Everything a link's resolution can read or write lives here: the
+    outcome counters, the per-domain circuit breakers, the per-domain
+    virtual clocks, and the running retry-budget spend.  A serial crawl
+    owns one :class:`ShardState` covering every domain; the sharded
+    executor gives each lane its own, restricted to the lane's domain,
+    and merges them afterwards.
+    """
+
+    stats: CrawlStats = field(default_factory=CrawlStats)
+    breakers: BreakerBoard = field(default_factory=BreakerBoard)
+    #: Per-domain virtual clocks, seconds (created at ``base_clock``).
+    clocks: Dict[str, float] = field(default_factory=dict)
+    budget_spent: int = 0
+    #: Starting clock for domains without an entry in :attr:`clocks`
+    #: (non-zero only when resuming a legacy global-clock checkpoint).
+    base_clock: float = 0.0
+
+    def clock_for(self, domain: str) -> float:
+        return self.clocks.get(domain, self.base_clock)
+
+
+@dataclass
+class LinkOutcome:
+    """Everything one resolved link occurrence contributed to a crawl.
+
+    The unit of the deterministic merge: the sharded executor collects
+    lane outcomes and reassembles them in ``index`` order, reproducing
+    the serial crawl's accumulator contents exactly.
+    """
+
+    #: Global position of the link in the crawl's link sequence.
+    index: int
+    domain: str
+    final_status: FetchStatus
+    #: True when the outcome was replayed from a checkpoint (stats for
+    #: it are already counted in the checkpointed :class:`CrawlStats`).
+    replayed: bool
+    preview_images: List[CrawledImage] = field(default_factory=list)
+    pack_images: List[CrawledImage] = field(default_factory=list)
+    #: Packs first claimed at this link (deduplicated within the
+    #: resolving shard; the merge re-deduplicates globally).
+    packs: List[Pack] = field(default_factory=list)
+    log: Optional[LinkAttemptLog] = None
+    #: Ledger records admitted while ingesting this link's payloads.
+    quarantined: List["QuarantineRecord"] = field(default_factory=list)
+    #: Checkpoint key for this occurrence ("" when not checkpointing).
+    key: str = ""
+    #: Newly settled checkpoint entry (``None`` for replays or when not
+    #: checkpointing) — the caller owns writing it into the checkpoint.
+    entry: Optional[dict] = None
+
+
+@dataclass
 class CrawlResult:
     """Everything a crawl produced."""
 
@@ -375,6 +452,9 @@ class Crawler:
         quarantine: Optional["Quarantine"] = None,
         stage: str = "url_crawl",
         tracer=None,
+        workers: Optional[int] = None,
+        on_lane=None,
+        metrics=None,
     ) -> CrawlResult:
         """Crawl all links; OK images are downloaded, OK packs unpacked.
 
@@ -402,7 +482,34 @@ class Crawler:
         attempt count, carrying the retry/backoff/breaker events of its
         resolution — plus ``crawl.replay`` events for links settled from
         the checkpoint.
+
+        ``workers`` switches to the sharded parallel executor
+        (:func:`repro.web.parallel.crawl_sharded`): links are
+        partitioned into per-domain lanes run on a thread pool and
+        merged in canonical order, producing a result — and a
+        checkpoint — **bit-identical** to this serial loop for any
+        worker count.  ``on_lane`` (parallel mode only) streams each
+        finished lane's result, in deterministic lane order, into a
+        downstream consumer before the whole crawl finishes.
         """
+        if workers is not None:
+            from .parallel import crawl_sharded
+
+            return crawl_sharded(
+                self,
+                links,
+                workers=workers,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                quarantine=quarantine,
+                stage=stage,
+                tracer=tracer,
+                on_lane=on_lane,
+                metrics=metrics,
+            )
+        if on_lane is not None:
+            raise ValueError("on_lane streaming requires the sharded executor "
+                             "(pass workers=N)")
         tracer = tracer if tracer is not None else NULL_TRACER
         if quarantine is None:
             from ..core.quarantine import Quarantine
@@ -417,7 +524,51 @@ class Crawler:
         else:
             ckpt = CrawlCheckpoint.load(checkpoint)
 
-        # --- restore interrupted state (or start fresh) ----------------
+        state = self.restore_state(ckpt)
+        completed = ckpt.completed if ckpt is not None else None
+
+        preview_images: List[CrawledImage] = []
+        pack_images: List[CrawledImage] = []
+        packs: List[Pack] = []
+        attempt_logs: List[LinkAttemptLog] = []
+        since_save = 0
+
+        for outcome in self.resolve_links(
+            enumerate(links), state, completed=completed,
+            quarantine=quarantine, stage=stage, tracer=tracer,
+        ):
+            preview_images.extend(outcome.preview_images)
+            pack_images.extend(outcome.pack_images)
+            packs.extend(outcome.packs)
+            if outcome.log is not None:
+                attempt_logs.append(outcome.log)
+            if ckpt is not None and outcome.entry is not None:
+                ckpt.completed[outcome.key] = outcome.entry
+                since_save += 1
+                # Satellite: the expensive stats/breaker serialization
+                # happens only at save points, not on every link.
+                if since_save >= max(1, checkpoint_every):
+                    self.sync_checkpoint(ckpt, state)
+                    ckpt.save()
+                    since_save = 0
+
+        if ckpt is not None:
+            self.sync_checkpoint(ckpt, state)
+            ckpt.save()
+
+        return CrawlResult(
+            preview_images=preview_images,
+            pack_images=pack_images,
+            packs=packs,
+            stats=state.stats,
+            attempt_logs=attempt_logs,
+            quarantined=list(quarantine.records[quarantine_start:]),
+            breaker_summary=state.breakers.as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    def restore_state(self, ckpt: Optional[CrawlCheckpoint]) -> ShardState:
+        """Rebuild mutable crawl state from a checkpoint (or start fresh)."""
         if ckpt is not None and ckpt.stats is not None:
             stats = CrawlStats.from_dict(ckpt.stats)
         else:
@@ -429,82 +580,109 @@ class Crawler:
                 failure_threshold=self._breaker_threshold,
                 cooldown=self._breaker_cooldown,
             )
-        clock = ckpt.clock if ckpt is not None else 0.0
-        budget_spent = ckpt.budget_spent if ckpt is not None else 0
+        if ckpt is None:
+            return ShardState(stats=stats, breakers=breakers)
+        return ShardState(
+            stats=stats,
+            breakers=breakers,
+            clocks=dict(ckpt.domain_clocks),
+            budget_spent=ckpt.budget_spent,
+            base_clock=ckpt.base_clock(),
+        )
 
-        preview_images: List[CrawledImage] = []
-        pack_images: List[CrawledImage] = []
-        packs: List[Pack] = []
-        attempt_logs: List[LinkAttemptLog] = []
-        seen_pack_ids: Dict[int, None] = {}
+    @staticmethod
+    def sync_checkpoint(ckpt: CrawlCheckpoint, state: ShardState) -> None:
+        """Snapshot shard state into the checkpoint's serialized fields."""
+        ckpt.stats = state.stats.to_dict()
+        ckpt.breakers = state.breakers.snapshot()
+        ckpt.domain_clocks = dict(state.clocks)
+        ckpt.clock = max(state.clocks.values(), default=state.base_clock)
+        ckpt.budget_spent = state.budget_spent
+
+    # ------------------------------------------------------------------
+    def resolve_links(
+        self,
+        indexed_links: Iterable[Tuple[int, LinkRecord]],
+        state: ShardState,
+        *,
+        completed: Optional[Mapping[str, dict]] = None,
+        quarantine: "Quarantine",
+        stage: str = "url_crawl",
+        tracer=None,
+    ) -> Iterator[LinkOutcome]:
+        """Resolve link occurrences in order, yielding one outcome each.
+
+        The shared resolution engine of the serial crawl and of every
+        lane of the sharded executor: replay-or-fetch, retry policy,
+        breaker discipline, ingest/quarantine boundary, and per-shard
+        pack deduplication all happen here, against the caller's
+        :class:`ShardState`.
+
+        ``completed`` is a read-only view of already-settled checkpoint
+        entries; newly settled occurrences come back on
+        :attr:`LinkOutcome.entry` — writing them into a checkpoint (and
+        deciding when to save) is the caller's job.
+
+        Occurrence indices are counted per URL *within this call*;
+        because a URL belongs to exactly one domain, a per-domain lane's
+        local count equals the serial crawl's global one.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         occurrences: Dict[str, int] = {}
-        since_save = 0
+        seen_pack_ids: Dict[int, None] = {}
 
-        for link in links:
+        for index, link in indexed_links:
             url_str = str(link.url)
+            host = link.url.host
             occurrence = occurrences.get(url_str, 0)
             occurrences[url_str] = occurrence + 1
+            key = link_key(url_str, occurrence) if completed is not None else ""
 
-            if ckpt is not None:
-                key = link_key(url_str, occurrence)
-                entry = ckpt.outcome(key)
-                if entry is not None:
-                    tracer.event(
-                        "crawl.replay", domain=link.url.host,
-                        status=entry["status"],
-                    )
-                    self._replay(link, entry, preview_images, pack_images,
-                                 packs, seen_pack_ids, attempt_logs,
-                                 quarantine, stage)
-                    continue
-            else:
-                key = ""
-
-            with tracer.span(
-                "crawl.fetch", domain=link.url.host, kind=link.link_kind
-            ) as span:
-                final_status, final_attempt, log, resource, clock, budget_spent = (
-                    self._fetch_with_retry(
-                        link, stats, breakers, clock, budget_spent, tracer
-                    )
+            outcome = LinkOutcome(
+                index=index, domain=host,
+                final_status=FetchStatus.OK, replayed=False, key=key,
+            )
+            q_start = len(quarantine.records)
+            entry = completed.get(key) if completed is not None else None
+            if entry is not None:
+                tracer.event("crawl.replay", domain=host, status=entry["status"])
+                outcome.replayed = True
+                outcome.final_status = FetchStatus(entry["status"])
+                outcome.log = self._replay(
+                    link, entry, outcome.preview_images, outcome.pack_images,
+                    outcome.packs, seen_pack_ids, quarantine, stage,
                 )
-                stats.record(link.url.host, final_status)
-                if log is not None:
-                    attempt_logs.append(log)
-                span.set(status=final_status.value, attempts=final_attempt + 1)
-                if final_status is FetchStatus.OK:
-                    self._collect(link, resource, preview_images,
-                                  pack_images, packs, seen_pack_ids,
-                                  quarantine, stage)
-
-            if ckpt is not None:
-                ckpt.mark(key, final_status.value, final_attempt,
-                          log=log.to_dict() if log is not None else None)
-                ckpt.stats = stats.to_dict()
-                ckpt.breakers = breakers.snapshot()
-                ckpt.clock = clock
-                ckpt.budget_spent = budget_spent
-                since_save += 1
-                if since_save >= max(1, checkpoint_every):
-                    ckpt.save()
-                    since_save = 0
-
-        if ckpt is not None:
-            ckpt.stats = stats.to_dict()
-            ckpt.breakers = breakers.snapshot()
-            ckpt.clock = clock
-            ckpt.budget_spent = budget_spent
-            ckpt.save()
-
-        return CrawlResult(
-            preview_images=preview_images,
-            pack_images=pack_images,
-            packs=packs,
-            stats=stats,
-            attempt_logs=attempt_logs,
-            quarantined=list(quarantine.records[quarantine_start:]),
-            breaker_summary=breakers.as_dict(),
-        )
+            else:
+                with tracer.span(
+                    "crawl.fetch", domain=host, kind=link.link_kind
+                ) as span:
+                    clock = state.clock_for(host)
+                    (final_status, final_attempt, log, resource,
+                     clock, state.budget_spent) = self._fetch_with_retry(
+                        link, state.stats, state.breakers, clock,
+                        state.budget_spent, tracer,
+                    )
+                    state.clocks[host] = clock
+                    state.stats.record(host, final_status)
+                    span.set(status=final_status.value, attempts=final_attempt + 1)
+                    if final_status is FetchStatus.OK:
+                        self._collect(
+                            link, resource, outcome.preview_images,
+                            outcome.pack_images, outcome.packs,
+                            seen_pack_ids, quarantine, stage,
+                        )
+                outcome.final_status = final_status
+                outcome.log = log
+                if completed is not None:
+                    new_entry: dict = {
+                        "status": final_status.value,
+                        "attempt": int(final_attempt),
+                    }
+                    if log is not None:
+                        new_entry["log"] = log.to_dict()
+                    outcome.entry = new_entry
+            outcome.quarantined = list(quarantine.records[q_start:])
+            yield outcome
 
     # ------------------------------------------------------------------
     def _fetch_with_retry(
@@ -621,10 +799,9 @@ class Crawler:
         pack_images: List[CrawledImage],
         packs: List[Pack],
         seen_pack_ids: Dict[int, None],
-        attempt_logs: List[LinkAttemptLog],
         quarantine: "Quarantine",
         stage: str,
-    ) -> None:
+    ) -> Optional[LinkAttemptLog]:
         """Re-materialize a checkpointed link outcome without re-crawling.
 
         Stats are *not* re-recorded (the checkpointed stats already count
@@ -632,12 +809,14 @@ class Crawler:
         settling attempt, which is deterministic.  Quarantine records
         *are* re-derived — payload corruption is keyed on the URL alone,
         so the replayed ledger matches the uninterrupted one exactly.
+        Returns the re-hydrated attempt log, when one was recorded.
         """
         log_data = entry.get("log")
-        if log_data is not None:
-            attempt_logs.append(LinkAttemptLog.from_dict(log_data))
+        log = (
+            LinkAttemptLog.from_dict(log_data) if log_data is not None else None
+        )
         if FetchStatus(entry["status"]) is not FetchStatus.OK:
-            return
+            return log
         result = self._internet.fetch(link.url, attempt=int(entry["attempt"]))
         if not result.ok:  # pragma: no cover - world/checkpoint mismatch
             raise RuntimeError(
@@ -646,6 +825,7 @@ class Crawler:
             )
         self._collect(link, result.resource, preview_images, pack_images,
                       packs, seen_pack_ids, quarantine, stage)
+        return log
 
     # ------------------------------------------------------------------
     def _ingest(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 import string
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, Iterator, List, Optional, Union
@@ -148,7 +149,10 @@ class SimulatedInternet:
         self._payload_injector = payload_injector
         # Lifetime fetch accounting (telemetry).  Cumulative over the
         # internet's lifetime; per-run consumers (the pipeline's metric
-        # mirror) difference ``n_fetch_calls`` around their run.
+        # mirror) difference ``n_fetch_calls`` around their run.  The
+        # lock keeps the counters exact when crawl lanes fetch
+        # concurrently (fetch itself is read-only beyond them).
+        self._accounting_lock = threading.Lock()
         self._n_fetch_calls = 0
         self._n_injected_faults = 0
         self._fetches_by_host: Dict[str, int] = {}
@@ -274,17 +278,19 @@ class SimulatedInternet:
         """
         key = str(url)
         parsed = url if isinstance(url, Url) else normalize_url(key)
-        self._n_fetch_calls += 1
-        if parsed is not None:
-            self._fetches_by_host[parsed.host] = (
-                self._fetches_by_host.get(parsed.host, 0) + 1
-            )
+        with self._accounting_lock:
+            self._n_fetch_calls += 1
+            if parsed is not None:
+                self._fetches_by_host[parsed.host] = (
+                    self._fetches_by_host.get(parsed.host, 0) + 1
+                )
         # Transient faults fire before the registry lookup: a timeout
         # reveals nothing about whether the link is alive.
         if self._fault_injector is not None and parsed is not None:
             fault = self._fault_injector.sample(parsed.host, key, attempt)
             if fault is not None:
-                self._n_injected_faults += 1
+                with self._accounting_lock:
+                    self._n_injected_faults += 1
                 return FetchResult(
                     url=parsed, status=fault.status, retry_after=fault.retry_after
                 )

@@ -170,3 +170,37 @@ class TestTfidf:
     def test_fit_transform_never_nan(self, docs):
         matrix = TfidfVectorizer(min_df=1).fit_transform(docs)
         assert not np.any(np.isnan(matrix))
+
+    @staticmethod
+    def _count_matrix_loop(vec, documents):
+        """Reference implementation: the obvious per-token nested loop."""
+        from repro.text.tokenize import tokenize
+
+        index = vec.vocabulary.index
+        matrix = np.zeros((len(documents), len(vec.vocabulary)), dtype=np.float64)
+        for row, document in enumerate(documents):
+            for token in tokenize(document):
+                column = index.get(token)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        return matrix
+
+    def test_count_matrix_matches_loop(self):
+        vec = TfidfVectorizer(min_df=1).fit(self.DOCS)
+        docs = self.DOCS + ["zzz unknown only", "", "pack pack pack pack"]
+        vectorised = vec._count_matrix(docs)
+        reference = self._count_matrix_loop(vec, docs)
+        assert vectorised.dtype == reference.dtype
+        assert np.array_equal(vectorised, reference)
+
+    @given(st.lists(st.text(alphabet="abcde ", min_size=0, max_size=40),
+                    min_size=1, max_size=10))
+    def test_count_matrix_matches_loop_property(self, docs):
+        vec = TfidfVectorizer(min_df=1).fit(self.DOCS)
+        assert np.array_equal(
+            vec._count_matrix(docs), self._count_matrix_loop(vec, docs)
+        )
+
+    def test_count_matrix_empty_corpus(self):
+        vec = TfidfVectorizer(min_df=1).fit(self.DOCS)
+        assert vec._count_matrix([]).shape == (0, len(vec.vocabulary))

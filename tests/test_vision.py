@@ -265,6 +265,41 @@ class TestReverseIndex:
         index.index_hash(1, IndexedCopy("https://b.com/1", "b.com", early))
         assert index.search_hash(1).earliest_crawl() == early
 
+    def test_max_results_tie_break_stability(self, rng):
+        # With many distance ties, the argpartition top-k path must
+        # return exactly the same prefix as the full stable sort:
+        # distance-major, insertion-order-minor.
+        index = ReverseImageIndex(radius=12)
+        h = 0xDEADBEEF
+        n = 40
+        # Interleave distances 0 and 3 so every distance class has many
+        # tied entries spread across insertion order.
+        for i in range(n):
+            delta = 0 if i % 2 == 0 else 0b111
+            index.index_hash(h ^ delta, IndexedCopy(f"https://d{i}.com/x", f"d{i}.com", T0))
+        full = index.search_hash(h)
+        assert full.n_matches == n
+        for k in (1, 3, 7, n - 1, n, n + 5):
+            trimmed = index.search_hash(h, max_results=k)
+            assert trimmed.matches == full.matches[:k]
+
+    def test_max_results_tie_break_stability_batched(self, rng):
+        index = ReverseImageIndex(radius=12)
+        queries = [0x1234, 0xFFFF00, 0xABCDEF]
+        for i in range(30):
+            q = queries[i % len(queries)]
+            delta = (0, 0b1, 0b11)[i % 3]
+            index.index_hash(q ^ delta, IndexedCopy(f"https://b{i}.com/x", f"b{i}.com", T0))
+        full = index.search_hashes(queries)
+        trimmed = index.search_hashes(queries, max_results=4)
+        for full_report, trimmed_report in zip(full, trimmed):
+            assert trimmed_report.matches == full_report.matches[:4]
+
+    def test_max_results_zero(self):
+        index = ReverseImageIndex()
+        index.index_hash(1, IndexedCopy("https://a.com/1", "a.com", T0))
+        assert index.search_hash(1, max_results=0).n_matches == 0
+
     def test_mirror_not_found(self, rng):
         index = ReverseImageIndex()
         pixels = render(ImageKind.MODEL_NUDE, rng, 1)
