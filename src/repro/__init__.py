@@ -45,8 +45,20 @@ __all__ = [
 ]
 
 
-def pipeline_for_world(world: World, seed: Optional[int] = None) -> EwhoringPipeline:
-    """Wire an :class:`EwhoringPipeline` to a synthetic world's components."""
+def pipeline_for_world(
+    world: World,
+    seed: Optional[int] = None,
+    selection_fn=None,
+    link_extractor=None,
+    pretrained_classifier=None,
+) -> EwhoringPipeline:
+    """Wire an :class:`EwhoringPipeline` to a synthetic world's components.
+
+    ``selection_fn`` / ``link_extractor`` / ``pretrained_classifier`` are
+    the adversarial-drift injection points (see
+    :class:`~repro.core.pipeline.EwhoringPipeline`); left ``None`` the
+    pipeline reproduces the paper's static methodology exactly.
+    """
     return EwhoringPipeline(
         dataset=world.dataset,
         internet=world.internet,
@@ -55,6 +67,9 @@ def pipeline_for_world(world: World, seed: Optional[int] = None) -> EwhoringPipe
         archive=world.archive,
         category_lookup=world.domain_categories.get,
         seed=world.config.seed if seed is None else seed,
+        selection_fn=selection_fn,
+        link_extractor=link_extractor,
+        pretrained_classifier=pretrained_classifier,
     )
 
 
@@ -67,6 +82,9 @@ def run_pipeline(
     stage_hooks=None,
     telemetry=None,
     workers: Optional[int] = None,
+    selection_fn=None,
+    link_extractor=None,
+    pretrained_classifier=None,
 ) -> PipelineReport:
     """Run the full measurement over a world using its ground-truth oracles.
 
@@ -90,7 +108,13 @@ def run_pipeline(
     """
     import math
 
-    pipeline = pipeline_for_world(world, seed=seed)
+    pipeline = pipeline_for_world(
+        world,
+        seed=seed,
+        selection_fn=selection_fn,
+        link_extractor=link_extractor,
+        pretrained_classifier=pretrained_classifier,
+    )
     truth = world.forums
     if workers is None:
         workers = world.config.crawl_workers

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands:
+Five subcommands:
 
 * ``repro build``  — generate a synthetic world and save its forum
   dataset as JSONL;
@@ -8,6 +8,8 @@ Four subcommands:
   measurement digest (optionally writing each table to a directory and
   a span trace + run manifest via ``--trace-out``);
 * ``repro tables`` — like ``run``, but only writes the table files;
+* ``repro drift``  — the adversarial-drift decay experiment: per-stage
+  recall/precision by epoch, defenses off vs on;
 * ``repro trace``  — render a previously written trace file as a
   per-stage flame summary and funnel table.
 
@@ -20,6 +22,8 @@ Examples::
     repro run --fault-profile flaky --resume          # unreliable network, resumable crawl
     repro run --fault-profile hostile --lenient       # degrade instead of aborting
     repro run --payload-profile hostile               # corrupt payloads, quarantined per record
+    repro run --drift-profile aggressive --drift-epoch 2   # measure a drifted world
+    repro drift --profile hostile --epochs 2 --out drift.json
     repro build --seed 11 --scale 0.05 --out world.jsonl
     repro tables --seed 11 --scale 0.05 --out results/
 
@@ -44,6 +48,7 @@ from .obs.export import (
     write_manifest,
     write_trace,
 )
+from .drift.profiles import DRIFT_PROFILES
 from .web.faults import FAULT_PROFILES
 from .web.payload_faults import PAYLOAD_PROFILES
 from .core.report_text import (
@@ -60,6 +65,13 @@ from .forum.store import save_dataset
 __all__ = ["build_parser", "main"]
 
 _LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _nonneg_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
              "per record, never allowed to poison the measurement",
     )
     p_run.add_argument(
+        "--drift-profile", choices=sorted(DRIFT_PROFILES), default=None,
+        help="apply this adversarial-drift scenario to the world before "
+             "measuring (see 'repro drift' for the decay experiment)",
+    )
+    p_run.add_argument(
+        "--drift-epoch", type=_nonneg_int, default=1, metavar="E",
+        help="how many drift epochs to apply with --drift-profile "
+             "(default 1; 0 = build the world but mutate nothing)",
+    )
+    p_run.add_argument(
         "--resume", type=Path, nargs="?", const=Path("crawl.checkpoint.json"),
         default=None, metavar="CHECKPOINT",
         help="checkpoint the crawl to this file and resume from it if it "
@@ -133,6 +155,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_tables)
     p_tables.add_argument("--annotate", type=int, default=1000)
     p_tables.add_argument("--out", type=Path, required=True, help="output directory")
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="run the adversarial-drift decay experiment (per-stage "
+             "recall/precision by epoch, defenses off vs on)",
+    )
+    add_world_args(p_drift)
+    p_drift.add_argument(
+        "--profile", choices=sorted(DRIFT_PROFILES), default="aggressive",
+        help="drift scenario to run (default aggressive)",
+    )
+    p_drift.add_argument(
+        "--epochs", type=_nonneg_int, default=2,
+        help="drift epochs to measure beyond the baseline (default 2)",
+    )
+    p_drift.add_argument(
+        "--defenses", choices=("off", "on", "both"), default="both",
+        help="run the static instrument (off), the adaptive one (on), "
+             "or both for comparison (default both)",
+    )
+    p_drift.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="crawl worker threads per epoch run (default: serial)",
+    )
+    p_drift.add_argument(
+        "--out", type=Path, default=None,
+        help="write the full decay report as JSON here",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="render a trace file written by 'run --trace-out'"
@@ -218,6 +268,8 @@ def _write_trace_artifacts(args, report, telemetry, log) -> None:
         "annotate": args.annotate,
         "fault_profile": args.fault_profile,
         "payload_profile": args.payload_profile,
+        "drift_profile": getattr(args, "drift_profile", None),
+        "drift_epoch": getattr(args, "drift_epoch", 0),
         "lenient": bool(args.lenient),
     }
     meta = {
@@ -238,6 +290,55 @@ def _write_trace_artifacts(args, report, telemetry, log) -> None:
     log.info("wrote run manifest %s", manifest_path)
 
 
+def _run_drift_command(args, log) -> int:
+    """The ``repro drift`` decay experiment (defenses off vs on)."""
+    import json
+
+    from .drift import DefenseConfig, STAGE_NAMES, run_drift
+
+    configs = []
+    if args.defenses in ("off", "both"):
+        configs.append(("defenses_off", DefenseConfig.none()))
+    if args.defenses in ("on", "both"):
+        configs.append(("defenses_on", DefenseConfig.full()))
+
+    payload = {
+        "profile": args.profile,
+        "seed": args.seed,
+        "scale": args.scale,
+        "epochs": args.epochs,
+        "runs": {},
+    }
+    for key, defense_config in configs:
+        log.info(
+            "drift experiment: profile=%s epochs=%d %s",
+            args.profile, args.epochs, key,
+        )
+        start = time.perf_counter()
+        report = run_drift(
+            args.profile,
+            epochs=args.epochs,
+            seed=args.seed,
+            scale=args.scale,
+            defenses=defense_config,
+            workers=args.workers,
+        )
+        log.info("%s done [%.1fs]", key, time.perf_counter() - start)
+        payload["runs"][key] = report.as_dict()
+        print(f"-- drift {args.profile} / {key.replace('_', ' ')} --")
+        print(f"{'stage':<12} " + " ".join(f"epoch{e:>2}" for e in range(args.epochs + 1)))
+        for stage in STAGE_NAMES:
+            curve = report.recall_curve(stage)
+            print(f"{stage:<12} " + " ".join(f"{value:7.3f}" for value in curve))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
@@ -248,8 +349,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_trace(meta, spans, max_depth=args.max_depth))
         return 0
 
+    if args.command == "drift":
+        return _run_drift_command(args, log)
+
     fault_profile = getattr(args, "fault_profile", None)
     payload_profile = getattr(args, "payload_profile", None)
+    drift_profile = getattr(args, "drift_profile", None)
     log.info(
         "building world",
         extra={
@@ -257,6 +362,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "scale": args.scale,
             "fault_profile": fault_profile,
             "payload_profile": payload_profile,
+            "drift_profile": drift_profile,
         },
     )
     start = time.perf_counter()
@@ -265,6 +371,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scale=args.scale,
         fault_profile=fault_profile,
         payload_profile=payload_profile,
+        drift_profile=drift_profile,
+        drift_epoch=getattr(args, "drift_epoch", 1) if drift_profile else 0,
     )
     log.info(
         "world ready: %s [%.1fs]", world.dataset, time.perf_counter() - start

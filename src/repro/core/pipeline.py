@@ -180,6 +180,11 @@ class EwhoringPipeline:
         retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
         vision_cache: Optional[VisionCache] = None,
+        selection_fn: Optional[Callable[[ForumDataset], List[Thread]]] = None,
+        link_extractor: Optional[
+            Callable[[ForumDataset, Sequence[Thread]], LinkExtraction]
+        ] = None,
+        pretrained_classifier: Optional[HybridTopClassifier] = None,
     ):
         self.dataset = dataset
         self.internet = internet
@@ -195,6 +200,22 @@ class EwhoringPipeline:
         self.seed = seed
         #: Shared per-run memo of hash / NSFW / OCR work (see DESIGN.md §7).
         self.vision_cache = vision_cache if vision_cache is not None else VisionCache()
+        # Adversarial-drift injection points (defaults reproduce the
+        # paper's static methodology bit-for-bit; repro.drift overrides
+        # them to model adaptive defenses):
+        #: Thread-selection strategy for stage 1 (default: §4.1 keyword
+        #: and board selection via :func:`ewhoring_threads`).
+        self.selection_fn = selection_fn if selection_fn is not None else ewhoring_threads
+        #: Link-extraction strategy for stage 2 (default:
+        #: :func:`extract_links` with the static whitelist registry).
+        self.link_extractor = link_extractor if link_extractor is not None else extract_links
+        #: A frozen, already-fitted TOP classifier; set, stage 1 skips
+        #: annotation + training (the stale-model arm of the retraining-
+        #: cadence defense).
+        self.pretrained_classifier = pretrained_classifier
+        #: The classifier the last run actually used (fitted); see
+        #: ``_stage_top``.
+        self.last_classifier: Optional[HybridTopClassifier] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -269,15 +290,22 @@ class EwhoringPipeline:
     ) -> PipelineReport:
         """The stage chain, executed inside the ``pipeline.run`` span."""
         fetch_calls_start = self.internet.n_fetch_calls
-        selection = ewhoring_threads(self.dataset)
+        selection = self.selection_fn(self.dataset)
         summaries = forum_summaries(self.dataset, selection)
 
         # ---- stage 1: TOP extraction --------------------------------
         def _stage_top():
-            classifier, evaluation, n_annotated, n_annotated_tops = (
-                self._train_classifier(selection, top_oracle, annotate_n, train_fraction)
-            )
+            if self.pretrained_classifier is not None:
+                classifier = self.pretrained_classifier
+                evaluation, n_annotated, n_annotated_tops = None, 0, 0
+            else:
+                classifier, evaluation, n_annotated, n_annotated_tops = (
+                    self._train_classifier(selection, top_oracle, annotate_n, train_fraction)
+                )
             tops, stats = classifier.extract_tops(self.dataset, selection)
+            # Exposed for repro.drift: the fitted model of this run is
+            # what the frozen-classifier arm reuses in later epochs.
+            self.last_classifier = classifier
             tops_per_forum: Dict[str, int] = {}
             for thread in tops:
                 name = self.dataset.forum(thread.forum_id).name
@@ -294,7 +322,7 @@ class EwhoringPipeline:
 
         # ---- stage 2: URLs + crawl ----------------------------------
         def _stage_crawl():
-            links = extract_links(self.dataset, tops)
+            links = self.link_extractor(self.dataset, tops)
             crawler = Crawler(self.internet, retry_policy=self.retry_policy)
             stream: Optional[StreamMatcher] = None
             if crawl_workers is not None:

@@ -15,13 +15,13 @@ Two pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
 from ..web.crawler import LinkRecord
-from ..web.sites import ServiceKind, service_by_domain
-from ..web.url import Url, extract_urls
+from ..web.sites import HostingService, ServiceKind, service_by_domain
+from ..web.url import Url, deobfuscate_text, extract_urls
 
 __all__ = ["LinkExtraction", "WhitelistBuilder", "extract_links"]
 
@@ -37,12 +37,25 @@ DEFAULT_SEED_WHITELIST: Dict[str, ServiceKind] = {
 
 
 class WhitelistBuilder:
-    """Snowball sampling over the domains appearing in TOP links."""
+    """Snowball sampling over the domains appearing in TOP links.
 
-    def __init__(self, seed_whitelist: Optional[Dict[str, ServiceKind]] = None):
+    ``inspect`` is the landing-page inspection: given a host it returns
+    the :class:`HostingService` there, or ``None``.  The default consults
+    only the static Table 3/4 registry; under domain churn the adaptive
+    re-snowballing defense passes :meth:`SimulatedInternet.service_for
+    <repro.web.internet.SimulatedInternet.service_for>` so churned-in
+    hosts are discoverable too.
+    """
+
+    def __init__(
+        self,
+        seed_whitelist: Optional[Dict[str, ServiceKind]] = None,
+        inspect: Optional[Callable[[str], Optional[HostingService]]] = None,
+    ):
         self._whitelist: Dict[str, ServiceKind] = dict(
             seed_whitelist if seed_whitelist is not None else DEFAULT_SEED_WHITELIST
         )
+        self._inspect = inspect if inspect is not None else service_by_domain
         self._rejected: Set[str] = set()
         self.n_inspections = 0
 
@@ -76,7 +89,7 @@ class WhitelistBuilder:
             added_this_round = 0
             for host in unknown:
                 self.n_inspections += 1
-                service = service_by_domain(host)
+                service = self._inspect(host)
                 if service is not None:
                     self._whitelist[host] = service.kind
                     added_this_round += 1
@@ -119,11 +132,16 @@ def extract_links(
     tops: Sequence[Thread],
     whitelist_builder: Optional[WhitelistBuilder] = None,
     scan_replies: bool = True,
+    deobfuscate: bool = False,
 ) -> LinkExtraction:
     """Extract whitelisted links from TOP posts.
 
     The opener is always scanned; with ``scan_replies`` the follow-up
-    posts are too (sharers often post mirrors in replies).
+    posts are too (sharers often post mirrors in replies).  With
+    ``deobfuscate`` each post's text is first normalised through
+    :func:`~repro.web.url.deobfuscate_text`, recovering ``hxxp://`` /
+    ``host[.]tld`` style de-fanged links the plain regex would miss —
+    the adaptive defense against drift's URL-obfuscation channel.
     """
     builder = whitelist_builder if whitelist_builder is not None else WhitelistBuilder()
 
@@ -135,7 +153,8 @@ def extract_links(
         if not scan_replies:
             posts = posts[:1]
         for post in posts:
-            urls = extract_urls(post.content)
+            content = deobfuscate_text(post.content) if deobfuscate else post.content
+            urls = extract_urls(content)
             if urls:
                 per_post_urls.append((thread, post.post_id, post.author_id, post.created_at, urls))
                 all_urls.extend(urls)

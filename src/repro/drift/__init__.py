@@ -1,0 +1,71 @@
+"""repro.drift — adversarial drift: scenarios, decay measurement, defenses.
+
+The R4 robustness subsystem (DESIGN.md §12).  The paper measures a
+snapshot of an ecosystem that, in reality, adapts: packs get re-uploaded
+under stacked transforms, links get de-fanged or laundered through
+redirectors, hosting domains churn, and actors migrate across forums.
+This package models that adaptation and measures what it does to every
+stage of the §3 funnel:
+
+* :mod:`repro.drift.profiles` — named scenarios (``none`` / ``mild`` /
+  ``aggressive`` / ``hostile``) fixing per-epoch channel intensities;
+* :mod:`repro.drift.engine` — the deterministic epoch-based mutation
+  engine (pure ``(seed, channel, epoch, entity)`` hash draws);
+* :mod:`repro.drift.measure` — per-stage recall/precision against the
+  drifted ground truth;
+* :mod:`repro.drift.defenses` — the adaptive counter-measures
+  (retraining, author watchlists, whitelist re-snowballing, link
+  deobfuscation, hash-radius sweeps);
+* :mod:`repro.drift.harness` — the epoch loop producing decay curves.
+
+Quickstart::
+
+    from repro.drift import DefenseConfig, run_drift
+
+    static = run_drift("hostile", epochs=2, seed=7, scale=0.02)
+    adaptive = run_drift(
+        "hostile", epochs=2, seed=7, scale=0.02,
+        defenses=DefenseConfig.full(),
+    )
+    print(static.recall_curve("crawl"), adaptive.recall_curve("crawl"))
+"""
+
+from __future__ import annotations
+
+from .defenses import (
+    DefenseConfig,
+    RadiusCalibration,
+    apply_radius,
+    build_refreshed_link_extractor,
+    build_watchlist_selection,
+    sweep_hash_radius,
+    watchlist_from_report,
+)
+from .engine import ContentRef, DriftLedger, EpochCounters, apply_drift
+from .harness import DriftEpochResult, DriftReport, run_drift
+from .measure import STAGE_NAMES, StageScore, measure_run, scores_as_dict
+from .profiles import DRIFT_PROFILES, DriftProfile, drift_profile
+
+__all__ = [
+    "ContentRef",
+    "DRIFT_PROFILES",
+    "DefenseConfig",
+    "DriftEpochResult",
+    "DriftLedger",
+    "DriftProfile",
+    "DriftReport",
+    "EpochCounters",
+    "RadiusCalibration",
+    "STAGE_NAMES",
+    "StageScore",
+    "apply_drift",
+    "apply_radius",
+    "build_refreshed_link_extractor",
+    "build_watchlist_selection",
+    "drift_profile",
+    "measure_run",
+    "run_drift",
+    "scores_as_dict",
+    "sweep_hash_radius",
+    "watchlist_from_report",
+]

@@ -10,6 +10,7 @@ resolution.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import replace
 from datetime import datetime
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -103,6 +104,46 @@ class ForumDataset:
         self._posts[post.post_id] = post
         self._posts_by_thread[post.thread_id].append(post.post_id)
         self._posts_by_actor[post.author_id].append(post.post_id)
+
+    # -- drift mutations -----------------------------------------------
+    # Records are frozen; these swap a record for an edited copy while
+    # keeping every secondary index consistent.  Used by ``repro.drift``
+    # to model actors editing posts and migrating threads.
+
+    def rewrite_post(self, post_id: int, content: str) -> Post:
+        """Replace a post's content in place; returns the new record."""
+        post = self._posts[post_id]
+        updated = replace(post, content=content)
+        self._posts[post_id] = updated
+        return updated
+
+    def retitle_thread(self, thread_id: int, heading: str) -> Thread:
+        """Replace a thread's heading in place; returns the new record."""
+        thread = self._threads[thread_id]
+        updated = replace(thread, heading=heading)
+        self._threads[thread_id] = updated
+        return updated
+
+    def move_thread(self, thread_id: int, board_id: int) -> Thread:
+        """Re-home a thread onto another (existing) board.
+
+        The thread's ``forum_id`` follows the destination board, and the
+        by-board / by-forum indices are updated; posts stay attached.
+        """
+        thread = self._threads[thread_id]
+        board = self._boards.get(board_id)
+        if board is None:
+            raise DatasetError(f"move target board {board_id} does not exist")
+        if board_id == thread.board_id:
+            return thread
+        updated = replace(thread, board_id=board_id, forum_id=board.forum_id)
+        self._threads_by_board[thread.board_id].remove(thread_id)
+        self._threads_by_board[board_id].append(thread_id)
+        if board.forum_id != thread.forum_id:
+            self._threads_by_forum[thread.forum_id].remove(thread_id)
+            self._threads_by_forum[board.forum_id].append(thread_id)
+        self._threads[thread_id] = updated
+        return updated
 
     def extend(self, records: Iterable[object]) -> None:
         """Add a heterogeneous iterable of records, dispatching by type."""

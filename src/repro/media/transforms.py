@@ -22,12 +22,17 @@ import numpy as np
 __all__ = [
     "EVASION_TRANSFORMS",
     "PLATFORM_TRANSFORMS",
+    "STACKED_EVASION_TRANSFORMS",
+    "apply_chain",
     "apply_transform",
+    "chain_seed",
     "crop_border",
     "mirror",
     "recompress",
+    "reencode",
     "register_transform",
     "resize_small",
+    "rotate",
     "shadow",
     "watermark",
 ]
@@ -45,12 +50,43 @@ def register_transform(name: str, fn: TransformFn) -> None:
 
 
 def apply_transform(name: str, pixels: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Apply a registered transform; raises KeyError for unknown names."""
+    """Apply a registered transform; raises KeyError for unknown names.
+
+    Transforms operate on float rasters in ``[0, 1]``; ``uint8`` input is
+    adapted here (scaled to float, transformed, rounded back) so every
+    registered transform preserves the caller's dtype.
+    """
     try:
         fn = _REGISTRY[name]
     except KeyError:
         raise KeyError(f"unknown transform {name!r}; known: {sorted(_REGISTRY)}") from None
+    if pixels.dtype == np.uint8:
+        as_float = pixels.astype(np.float64) / 255.0
+        out = fn(as_float, seed)
+        return np.clip(np.round(out * 255.0), 0, 255).astype(np.uint8)
     return fn(pixels, seed)
+
+
+def chain_seed(seed: int, step: int) -> int:
+    """The derived seed for step ``step`` of a composition chain.
+
+    A fixed odd multiplier decorrelates consecutive steps so stacking the
+    same transform twice does not reuse its random draws.
+    """
+    return (int(seed) + 0x9E3779B9 * (step + 1)) % 2**32
+
+
+def apply_chain(names, pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Apply an N-deep stack of registered transforms in order.
+
+    Each step runs with its own :func:`chain_seed`-derived seed, so a
+    chain is a pure function of ``(names, pixels, seed)`` and replays
+    bit-identically.
+    """
+    out = pixels
+    for step, name in enumerate(names):
+        out = apply_transform(name, out, chain_seed(seed, step))
+    return out
 
 
 def transform_names() -> list:
@@ -128,6 +164,63 @@ def resize_small(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
     return _rescale(small, size)
 
 
+def rotate(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Rotate by a seed-chosen multiple of 90° (cheap geometric evasion).
+
+    Like mirroring, a quarter-turn survives casual inspection but moves
+    every DCT coefficient the perceptual hash reads, so it defeats
+    hash matching outright — the drift engine's strongest single move.
+    """
+    rng = np.random.default_rng(seed)
+    quarter_turns = int(rng.integers(1, 4))
+    return np.rot90(pixels, k=quarter_turns, axes=(0, 1)).copy()
+
+
+# Orthonormal 8×8 DCT-II basis for the re-encode transform.
+_DCT_BLOCK = 8
+_DCT_BASIS = np.array(
+    [
+        [
+            (np.sqrt(1.0 / _DCT_BLOCK) if k == 0 else np.sqrt(2.0 / _DCT_BLOCK))
+            * np.cos(np.pi * (2 * n + 1) * k / (2 * _DCT_BLOCK))
+            for n in range(_DCT_BLOCK)
+        ]
+        for k in range(_DCT_BLOCK)
+    ]
+)
+# JPEG-style frequency ladder: low frequencies keep many levels, high
+# frequencies few, so detail is destroyed the way a harsh re-encode does.
+_DCT_LEVELS = np.maximum(48.0 - 5.0 * np.add.outer(np.arange(8), np.arange(8)), 4.0)
+
+
+def reencode(pixels: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Blockwise 8×8 DCT quantisation — a harsher JPEG re-encode analogue.
+
+    Stronger than :func:`recompress`: coefficients are quantised on a
+    frequency-dependent ladder, so stacking re-encodes (each re-upload
+    hop) progressively smears the spectrum robust hashes rely on.
+    """
+    rng = np.random.default_rng(seed)
+    height, width = pixels.shape[:2]
+    pad_h = (-height) % _DCT_BLOCK
+    pad_w = (-width) % _DCT_BLOCK
+    padded = np.pad(pixels, ((0, pad_h), (0, pad_w), (0, 0)), mode="edge")
+    out = np.empty_like(padded)
+    # Mild per-image quality jitter, as real encoders vary.
+    quality = float(rng.uniform(0.75, 1.0))
+    levels = np.maximum(_DCT_LEVELS * quality, 2.0)
+    for row in range(0, padded.shape[0], _DCT_BLOCK):
+        for col in range(0, padded.shape[1], _DCT_BLOCK):
+            block = padded[row : row + _DCT_BLOCK, col : col + _DCT_BLOCK, :]
+            for channel in range(block.shape[2]):
+                coeffs = _DCT_BASIS @ block[:, :, channel] @ _DCT_BASIS.T
+                coeffs = np.round(coeffs * levels) / levels
+                out[row : row + _DCT_BLOCK, col : col + _DCT_BLOCK, channel] = (
+                    _DCT_BASIS.T @ coeffs @ _DCT_BASIS
+                )
+    return np.clip(out[:height, :width, :], 0.0, 1.0)
+
+
 def _rescale(pixels: np.ndarray, new_size: int) -> np.ndarray:
     """Nearest-neighbour rescale to ``new_size``² (adequate at raster scale)."""
     height, width = pixels.shape[:2]
@@ -143,6 +236,8 @@ for _name, _fn in [
     ("recompress", recompress),
     ("crop_border", crop_border),
     ("resize_small", resize_small),
+    ("rotate", rotate),
+    ("reencode", reencode),
 ]:
     register_transform(_name, _fn)
 
@@ -151,3 +246,10 @@ EVASION_TRANSFORMS: tuple = ("mirror", "watermark", "shadow")
 
 #: Transforms hosting platforms apply on upload.
 PLATFORM_TRANSFORMS: tuple = ("recompress", "resize_small")
+
+#: The pool adversarial drift stacks N-deep on re-uploaded packs
+#: (``repro.drift``): geometric moves that defeat the hash outright plus
+#: signal-degrading edits that push it past its Hamming radius.
+STACKED_EVASION_TRANSFORMS: tuple = (
+    "mirror", "rotate", "watermark", "shadow", "reencode", "crop_border",
+)

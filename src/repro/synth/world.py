@@ -97,6 +97,15 @@ class WorldConfig:
     #: (bit-identical results either way — a pure throughput knob that
     #: perturbs neither world content nor any measurement).
     crawl_workers: Optional[int] = None
+    #: Named adversarial-drift profile (see :data:`repro.drift.profiles.
+    #: DRIFT_PROFILES`) applied to the freshly built world, or ``None``
+    #: (≡ ``"none"``) for the static paper-world.  Drift mutations are a
+    #: pure hash function of ``(seed, channel, epoch, entity)`` layered
+    #: *after* build, so the pre-drift world is identical across
+    #: profiles and ``none``/epoch-0 is a strict no-op.
+    drift_profile: Optional[str] = None
+    #: How many drift epochs to apply cumulatively (0 = none).
+    drift_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.scale <= 0 or self.scale > 2.0:
@@ -107,6 +116,12 @@ class WorldConfig:
             fault_profile(self.fault_profile)  # validate the name eagerly
         if self.payload_profile is not None:
             payload_profile(self.payload_profile)  # validate the name eagerly
+        if self.drift_epoch < 0:
+            raise ValueError("drift_epoch must be >= 0")
+        if self.drift_profile is not None:
+            from ..drift.profiles import drift_profile
+
+            drift_profile(self.drift_profile)  # validate the name eagerly
 
 
 @dataclass
@@ -123,6 +138,10 @@ class World:
     forums: GeneratedForums
     #: domain → ground-truth category (for the domain classifiers).
     domain_categories: Dict[str, str] = field(default_factory=dict)
+    #: Content-tracking ledger from the drift engine (set when the config
+    #: names a drift profile, even at epoch 0 / ``none`` — the ledger is
+    #: then pure bookkeeping over an unmutated world).
+    drift_ledger: Optional[object] = None
 
     @property
     def truth(self) -> GeneratedForums:
@@ -192,7 +211,7 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
         tree, supply, forums, reverse_index, archive, hashlist
     )
 
-    return World(
+    world = World(
         config=config,
         dataset=forums.dataset,
         internet=internet,
@@ -203,6 +222,22 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
         forums=forums,
         domain_categories=domain_categories,
     )
+
+    # ------------------------------------------------------------- drift
+    # Applied last, over the finished world, so the pre-drift content
+    # (and the web intelligence built from it) is identical across
+    # profiles; "none"/epoch-0 leaves the world untouched.
+    if config.drift_profile is not None:
+        from ..drift.engine import apply_drift
+        from ..drift.profiles import drift_profile
+
+        world.drift_ledger = apply_drift(
+            world,
+            drift_profile(config.drift_profile),
+            epoch=config.drift_epoch,
+            seed=tree.seed("drift"),
+        )
+    return world
 
 
 # ----------------------------------------------------------------------

@@ -235,6 +235,12 @@ class HashListService:
         self._entries: List[HashListEntry] = []
         self._hash_array: Optional[np.ndarray] = None
 
+    def set_radius(self, radius: int) -> None:
+        """Retune the match tolerance (adaptive threshold-sweep defense)."""
+        if not 0 <= radius < _HASH_BITS:
+            raise ValueError("radius must be within [0, 63]")
+        self.radius = int(radius)
+
     # ------------------------------------------------------------------
     def add_entry(self, entry: HashListEntry) -> None:
         """Add a graded hash to the list."""

@@ -89,6 +89,12 @@ class ReverseImageIndex:
         self._copies: List[IndexedCopy] = []
         self._hash_array: Optional[np.ndarray] = None
 
+    def set_radius(self, radius: int) -> None:
+        """Retune the match tolerance (adaptive threshold-sweep defense)."""
+        if not 0 <= radius < 64:
+            raise ValueError("radius must be within [0, 63]")
+        self.radius = int(radius)
+
     # ------------------------------------------------------------------
     def index_hash(self, image_hash: int, copy: IndexedCopy) -> None:
         """Add one crawled copy under a precomputed hash."""

@@ -197,6 +197,8 @@ class CrawlStats:
     n_breaker_skips: int = 0
     #: Transient fetch outcomes observed (before retry resolution).
     n_transient_faults: int = 0
+    #: Redirector hops followed across all fetches (adversarial drift).
+    n_redirect_hops: int = 0
 
     def record(self, domain: str, status: FetchStatus) -> None:
         self.n_links += 1
@@ -219,6 +221,7 @@ class CrawlStats:
             n_giveups=self.n_giveups + other.n_giveups,
             n_breaker_skips=self.n_breaker_skips + other.n_breaker_skips,
             n_transient_faults=self.n_transient_faults + other.n_transient_faults,
+            n_redirect_hops=self.n_redirect_hops + other.n_redirect_hops,
         )
         for source in (self.by_status, other.by_status):
             for status, count in source.items():
@@ -238,6 +241,7 @@ class CrawlStats:
             "n_giveups": self.n_giveups,
             "n_breaker_skips": self.n_breaker_skips,
             "n_transient_faults": self.n_transient_faults,
+            "n_redirect_hops": self.n_redirect_hops,
         }
 
     @classmethod
@@ -250,6 +254,7 @@ class CrawlStats:
             n_giveups=int(data.get("n_giveups", 0)),
             n_breaker_skips=int(data.get("n_breaker_skips", 0)),
             n_transient_faults=int(data.get("n_transient_faults", 0)),
+            n_redirect_hops=int(data.get("n_redirect_hops", 0)),
         )
 
     def as_dict(self) -> dict:
@@ -270,6 +275,7 @@ class CrawlStats:
             "n_giveups": self.n_giveups,
             "n_breaker_skips": self.n_breaker_skips,
             "n_transient_faults": self.n_transient_faults,
+            "n_redirect_hops": self.n_redirect_hops,
         }
 
 
@@ -734,6 +740,7 @@ class Crawler:
             result = self._internet.fetch(link.url, attempt=attempt)
             status = result.status
             if not status.transient:
+                stats.n_redirect_hops += result.n_hops
                 breaker.record_success()
                 log = None
                 if attempts:  # at least one retry happened

@@ -39,7 +39,9 @@ __all__ = [
     "FetchResult",
     "FetchStatus",
     "HostedResource",
+    "MAX_REDIRECT_HOPS",
     "OriginSite",
+    "RedirectPage",
     "SimulatedInternet",
     "TRANSIENT_STATUSES",
 ]
@@ -67,6 +69,7 @@ class FetchStatus(enum.Enum):
     REGISTRATION_REQUIRED = "registration_required"
     DEFUNCT = "defunct"                # the whole service is gone
     UNKNOWN_HOST = "unknown_host"
+    REDIRECT_LOOP = "redirect_loop"    # redirector chain exceeded the hop cap
     # Transient, retryable outcomes (injected by repro.web.faults):
     TIMEOUT = "timeout"                # connection/read timed out
     RATE_LIMITED = "rate_limited"      # throttled; Retry-After may be set
@@ -102,12 +105,28 @@ class OriginSite:
     region: str
 
 
+@dataclass(frozen=True, slots=True)
+class RedirectPage:
+    """An interstitial that forwards to another URL (link-shortener hop).
+
+    Adversarial drift launders pack links through chains of these;
+    :meth:`SimulatedInternet.fetch` follows them transparently up to
+    :data:`MAX_REDIRECT_HOPS`.
+    """
+
+    target: Url
+
+
+#: Redirect chains longer than this resolve to ``REDIRECT_LOOP``.
+MAX_REDIRECT_HOPS = 8
+
+
 @dataclass
 class HostedResource:
     """One URL's content plus its sampled fate."""
 
     url: Url
-    resource: Union[SyntheticImage, Pack]
+    resource: Union[SyntheticImage, Pack, RedirectPage]
     uploaded_at: datetime
     status: FetchStatus
 
@@ -121,6 +140,8 @@ class FetchResult:
     resource: Optional[Union[SyntheticImage, Pack]] = None
     #: Server-suggested wait before retrying (rate limits), seconds.
     retry_after: Optional[float] = None
+    #: Redirector hops followed before this result (0 for direct fetches).
+    n_hops: int = 0
 
     @property
     def ok(self) -> bool:
@@ -145,6 +166,10 @@ class SimulatedInternet:
         self._hosted: Dict[str, HostedResource] = {}
         self._origin_sites: Dict[str, OriginSite] = {}
         self._origin_urls: Dict[str, List[Url]] = {}
+        # Hosting services minted after world build (domain churn): these
+        # exist only on *this* internet, unlike the static Table 3/4
+        # registry in repro.web.sites.
+        self._dynamic_services: Dict[str, HostingService] = {}
         self._fault_injector = fault_injector
         self._payload_injector = payload_injector
         # Lifetime fetch accounting (telemetry).  Cumulative over the
@@ -275,9 +300,39 @@ class SimulatedInternet:
         deterministic function of ``(url, attempt)``, so re-fetching at a
         higher attempt may clear a timeout/rate-limit/5xx while the same
         ``(url, attempt)`` pair always reproduces the same outcome.
+
+        :class:`RedirectPage` hops are followed transparently (each hop
+        is a full fetch, faults included, at the same ``attempt`` index —
+        so a resumed crawl replaying ``(url, attempt)`` re-walks the
+        chain identically).  Chains longer than :data:`MAX_REDIRECT_HOPS`
+        return ``REDIRECT_LOOP``.
         """
         key = str(url)
         parsed = url if isinstance(url, Url) else normalize_url(key)
+        result = self._fetch_once(key, parsed, attempt)
+        hops = 0
+        while result.ok and isinstance(result.resource, RedirectPage):
+            hops += 1
+            if hops > MAX_REDIRECT_HOPS:
+                return FetchResult(
+                    url=result.url, status=FetchStatus.REDIRECT_LOOP, n_hops=hops
+                )
+            target = result.resource.target
+            result = self._fetch_once(str(target), target, attempt)
+        if hops == 0:
+            return result
+        return FetchResult(
+            url=result.url,
+            status=result.status,
+            resource=result.resource,
+            retry_after=result.retry_after,
+            n_hops=hops,
+        )
+
+    def _fetch_once(
+        self, key: str, parsed: Optional[Url], attempt: int
+    ) -> FetchResult:
+        """One fetch without redirect following (see :meth:`fetch`)."""
         with self._accounting_lock:
             self._n_fetch_calls += 1
             if parsed is not None:
@@ -302,7 +357,9 @@ class SimulatedInternet:
             )
         if hosted.status is FetchStatus.OK:
             resource = hosted.resource
-            if self._payload_injector is not None:
+            if self._payload_injector is not None and not isinstance(
+                resource, RedirectPage
+            ):
                 # Corruption is a pure function of (seed, url) — NOT of
                 # the attempt index — so checkpoint replay re-fetching at
                 # a recorded attempt sees the identical (corrupt) payload.
@@ -315,6 +372,60 @@ class SimulatedInternet:
     def hosted(self, url: Union[Url, str]) -> Optional[HostedResource]:
         """Direct registry access (world construction and tests only)."""
         return self._hosted.get(str(url))
+
+    def host_exact(
+        self,
+        url: Url,
+        resource: Union[SyntheticImage, Pack, RedirectPage],
+        uploaded_at: datetime,
+        status: FetchStatus = FetchStatus.OK,
+    ) -> Url:
+        """Publish content at a caller-chosen URL (drift engine).
+
+        Unlike :meth:`host_on_service` this draws nothing from the
+        internet's RNG and samples no fate — the caller owns both, which
+        is what lets the drift engine stay a pure function of its own
+        hash stream.  Raises if the URL is already taken.
+        """
+        key = str(url)
+        if key in self._hosted:
+            raise ValueError(f"URL already hosted: {key}")
+        self._hosted[key] = HostedResource(
+            url=url, resource=resource, uploaded_at=uploaded_at, status=status
+        )
+        return url
+
+    def urls_on(self, domain: str) -> List[str]:
+        """All hosted URL strings under ``domain``, sorted (drift engine)."""
+        return sorted(
+            key for key, hosted in self._hosted.items() if hosted.url.host == domain
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic hosting services (domain churn)
+    # ------------------------------------------------------------------
+    def register_service(self, service: HostingService) -> None:
+        """Register a churned-in hosting service on this internet."""
+        existing = self._dynamic_services.get(service.domain)
+        if existing is not None and existing != service:
+            raise ValueError(
+                f"conflicting registration for service domain {service.domain}"
+            )
+        self._dynamic_services[service.domain] = service
+
+    def service_for(self, domain: str) -> Optional[HostingService]:
+        """Hosting service for ``domain``: dynamic registry, then static."""
+        service = self._dynamic_services.get(domain.lower())
+        if service is not None:
+            return service
+        return service_by_domain(domain)
+
+    def dynamic_services(self) -> List[HostingService]:
+        """Churned-in services, sorted by domain (deterministic order)."""
+        return [
+            self._dynamic_services[domain]
+            for domain in sorted(self._dynamic_services)
+        ]
 
     @property
     def n_hosted(self) -> int:
@@ -351,7 +462,7 @@ class SimulatedInternet:
         site = self._origin_sites.get(domain)
         if site is not None:
             return site.site_type
-        service = service_by_domain(domain)
+        service = self.service_for(domain)
         if service is not None:
             return (
                 "image sharing site"

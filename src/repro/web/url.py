@@ -11,7 +11,14 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional
 
-__all__ = ["Url", "extract_urls", "normalize_url", "registrable_domain"]
+__all__ = [
+    "Url",
+    "deobfuscate_text",
+    "extract_urls",
+    "normalize_url",
+    "obfuscate_url",
+    "registrable_domain",
+]
 
 _URL_PATTERN = re.compile(
     r"""(?:https?://)            # scheme
@@ -64,6 +71,46 @@ def normalize_url(raw: str) -> Optional[Url]:
     host = match.group(1).lower()
     path = match.group(2) or "/"
     return Url(host=host, path=path)
+
+
+#: De-fanging styles drift's obfuscation channel writes into posts.
+#: Each produces text :data:`_URL_PATTERN` cannot match; all are exactly
+#: inverted by :func:`deobfuscate_text`.
+OBFUSCATION_STYLES = ("hxxp", "bracket_dot", "paren_dot")
+
+
+def obfuscate_url(url: "Url", style: str) -> str:
+    """Render ``url`` in a de-fanged form the extraction regex misses.
+
+    >>> obfuscate_url(Url("imgur.com", "/abc"), "hxxp")
+    'hxxps://imgur.com/abc'
+    >>> obfuscate_url(Url("imgur.com", "/abc"), "bracket_dot")
+    'https://imgur[.]com/abc'
+    """
+    if style == "hxxp":
+        return f"hxxps://{url.host}{url.path}"
+    if style == "bracket_dot":
+        return f"https://{url.host.replace('.', '[.]')}{url.path}"
+    if style == "paren_dot":
+        return f"https://{url.host.replace('.', '(dot)')}{url.path}"
+    raise ValueError(f"unknown obfuscation style {style!r} (known: {OBFUSCATION_STYLES})")
+
+
+def deobfuscate_text(text: str) -> str:
+    """Normalise de-fanged URL spellings back to extractable form.
+
+    The inverse of every :func:`obfuscate_url` style; safe to run over
+    arbitrary post text (plain URLs pass through unchanged).
+
+    >>> deobfuscate_text("get it at hxxps://imgur[.]com/abc now")
+    'get it at https://imgur.com/abc now'
+    """
+    return (
+        text.replace("hxxp://", "http://")
+        .replace("hxxps://", "https://")
+        .replace("[.]", ".")
+        .replace("(dot)", ".")
+    )
 
 
 def extract_urls(text: str) -> List[Url]:
