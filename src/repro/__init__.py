@@ -51,6 +51,7 @@ def pipeline_for_world(
     selection_fn=None,
     link_extractor=None,
     pretrained_classifier=None,
+    vision_cache=None,
 ) -> EwhoringPipeline:
     """Wire an :class:`EwhoringPipeline` to a synthetic world's components.
 
@@ -58,6 +59,9 @@ def pipeline_for_world(
     the adversarial-drift injection points (see
     :class:`~repro.core.pipeline.EwhoringPipeline`); left ``None`` the
     pipeline reproduces the paper's static methodology exactly.
+    ``vision_cache`` supplies a pre-warmed
+    :class:`~repro.vision.cache.VisionCache` (a persistent store's
+    digest-keyed memo); ``None`` creates a fresh per-pipeline cache.
     """
     return EwhoringPipeline(
         dataset=world.dataset,
@@ -70,6 +74,7 @@ def pipeline_for_world(
         selection_fn=selection_fn,
         link_extractor=link_extractor,
         pretrained_classifier=pretrained_classifier,
+        vision_cache=vision_cache,
     )
 
 
@@ -85,6 +90,8 @@ def run_pipeline(
     selection_fn=None,
     link_extractor=None,
     pretrained_classifier=None,
+    vision_cache=None,
+    persist=None,
 ) -> PipelineReport:
     """Run the full measurement over a world using its ground-truth oracles.
 
@@ -105,6 +112,10 @@ def run_pipeline(
     back to the world's :attr:`~repro.synth.world.WorldConfig.
     crawl_workers` (itself ``None`` = serial).  Results are bit-identical
     for any worker count.
+
+    ``vision_cache`` / ``persist`` plug in a persistent store's warm
+    memos (see :mod:`repro.store`); both preserve bit-identity of every
+    measured quantity — a warm run only *skips recomputation*.
     """
     import math
 
@@ -114,6 +125,7 @@ def run_pipeline(
         selection_fn=selection_fn,
         link_extractor=link_extractor,
         pretrained_classifier=pretrained_classifier,
+        vision_cache=vision_cache,
     )
     truth = world.forums
     if workers is None:
@@ -129,4 +141,5 @@ def run_pipeline(
         stage_hooks=stage_hooks,
         telemetry=telemetry,
         crawl_workers=workers,
+        persist=persist,
     )

@@ -150,6 +150,23 @@ def build_parser() -> argparse.ArgumentParser:
              "streaming overlap; results are bit-identical to the serial "
              "crawl (default: serial)",
     )
+    p_run.add_argument(
+        "--store", type=Path, default=None, metavar="STORE",
+        help="persist this run into a SQLite run store and reuse every "
+             "memo it already holds; repeated runs with increasing "
+             "--epoch become watermark-based delta runs, bit-identical "
+             "to a cold run over the union",
+    )
+    p_run.add_argument(
+        "--epoch", type=int, default=None, metavar="E",
+        help="observation epoch to measure (1..EPOCH_TOTAL; requires "
+             "--store; default: the full timeline)",
+    )
+    p_run.add_argument(
+        "--epoch-total", type=int, default=1, metavar="N",
+        help="number of equal-population observation epochs the world's "
+             "timeline is divided into (default 1)",
+    )
 
     p_tables = sub.add_parser("tables", help="run the measurement and write table files")
     add_world_args(p_tables)
@@ -339,6 +356,72 @@ def _run_drift_command(args, log) -> int:
     return 0
 
 
+def _run_store_command(args, log) -> int:
+    """``repro run --store PATH [--epoch E --epoch-total N]``.
+
+    Builds (or resumes) a persistent run store and executes one
+    watermark-delta pipeline run against it; results are bit-identical
+    to a storeless cold run over the same observation epoch.
+    """
+    from .store import StoreError, run_incremental
+    from .synth.world import WorldConfig
+
+    config = WorldConfig(
+        seed=args.seed,
+        scale=args.scale,
+        fault_profile=args.fault_profile,
+        payload_profile=args.payload_profile,
+        drift_profile=args.drift_profile,
+        drift_epoch=args.drift_epoch if args.drift_profile else 0,
+        epoch_total=args.epoch_total,
+    )
+    telemetry = RunTelemetry(
+        tracer=Tracer() if args.trace_out is not None else None
+    )
+    log.info(
+        "store run: %s epoch=%s/%d",
+        args.store, args.epoch if args.epoch is not None else "full",
+        args.epoch_total,
+    )
+    start = time.perf_counter()
+    try:
+        result = run_incremental(
+            args.store,
+            epoch=args.epoch,
+            config=config,
+            annotate_n=args.annotate,
+            strict=not args.lenient,
+            workers=args.workers,
+            telemetry=telemetry,
+        )
+    except StoreError as exc:
+        log.error("store run refused: %s", exc)
+        return 2
+    report = result.report
+    log.info(
+        "store run done [%.1fs]: epoch %d/%d, run #%d, %d dataset rows "
+        "appended, store %.1f MiB",
+        time.perf_counter() - start, result.epoch, result.epoch_total,
+        result.run_id, result.rows_added,
+        result.store_size_bytes / (1024 * 1024),
+    )
+    for line in telemetry.summary_lines():
+        log.info("%s", line)
+    if report.degraded:
+        log.warning("measurement DEGRADED: some sections unavailable")
+    else:
+        print(render_digest(report))
+    print(_resilience_summary(report))
+    print("-- telemetry --")
+    print(render_telemetry(report))
+    if args.trace_out is not None:
+        _write_trace_artifacts(args, report, telemetry, log)
+    if args.out is not None and not report.degraded:
+        for path in _write_tables(report, args.out):
+            log.info("wrote %s", path)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
@@ -355,6 +438,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     fault_profile = getattr(args, "fault_profile", None)
     payload_profile = getattr(args, "payload_profile", None)
     drift_profile = getattr(args, "drift_profile", None)
+
+    if getattr(args, "store", None) is not None:
+        return _run_store_command(args, log)
+    if getattr(args, "epoch", None) is not None:
+        raise SystemExit("--epoch requires --store (see 'repro run --help')")
+
     log.info(
         "building world",
         extra={

@@ -98,12 +98,16 @@ class StreamMatcher:
         self,
         cache: Optional[VisionCache] = None,
         validate: bool = True,
+        validation_memo=None,
     ):
         self._cache = cache
         #: Whether the stream ran the validation boundary; when False a
         #: quarantining sweep re-validates (stream results unusable for
         #: the ledger).
         self.validated = validate
+        #: Optional :class:`~repro.media.validate.ValidationMemo`; a hit
+        #: replays the recorded outcome without materialising pixels.
+        self._validation_memo = validation_memo
         self._seen: Set[str] = set()
         #: digest → 64-bit perceptual hash, for every clean streamed digest.
         self.hash_by_digest: Dict[str, int] = {}
@@ -121,7 +125,12 @@ class StreamMatcher:
             self._seen.add(digest)
             if self.validated:
                 try:
-                    validate_raster(crawled.image.pixels, context=digest)
+                    if self._validation_memo is not None:
+                        self._validation_memo.validate(
+                            digest, lambda c=crawled: c.image.pixels
+                        )
+                    else:
+                        validate_raster(crawled.image.pixels, context=digest)
                 except Exception as exc:
                     self.poisoned[digest] = exc
                     continue

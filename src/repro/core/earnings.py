@@ -168,6 +168,9 @@ class EarningsAnalyzer:
         nsfv: Optional[NsfvClassifier] = None,
         rates: Optional[HistoricalRates] = None,
         quarantine: Optional[Quarantine] = None,
+        cache=None,
+        ingest_memo=None,
+        checkpoint=None,
     ):
         self._dataset = dataset
         self._internet = internet
@@ -176,6 +179,14 @@ class EarningsAnalyzer:
         self._nsfv = nsfv if nsfv is not None else NsfvClassifier()
         self._rates = rates if rates is not None else HistoricalRates()
         self._quarantine = quarantine
+        #: Optional :class:`~repro.vision.cache.VisionCache`: hash and
+        #: NSFV scores are then memoised by digest, so a warm run (the
+        #: persistent-store delta path) never renders proof rasters.
+        self._cache = cache
+        #: Optional :class:`~repro.web.crawler.IngestMemo` + crawl
+        #: checkpoint for the §5.1 crawl, see ``repro.store``.
+        self._ingest_memo = ingest_memo
+        self._checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def analyze(self, selection: Optional[Sequence[Thread]] = None) -> EarningsResult:
@@ -184,11 +195,16 @@ class EarningsAnalyzer:
         earning_threads = self._earnings_threads(threads)
         posts_with_links, links = self._collect_links(threads, earning_threads)
 
-        crawler = Crawler(self._internet)
+        crawler = Crawler(self._internet, ingest_memo=self._ingest_memo)
         # Corrupt payloads are excised at the crawler's ingest boundary
         # (into the shared ledger when one is attached, a private one
         # otherwise) — never into the safety loop below.
-        crawl = crawler.crawl(links, quarantine=self._quarantine, stage="earnings")
+        crawl = crawler.crawl(
+            links,
+            checkpoint=self._checkpoint,
+            quarantine=self._quarantine,
+            stage="earnings",
+        )
         downloaded = crawl.preview_images  # image-sharing links only
 
         n_abuse = 0
@@ -199,13 +215,13 @@ class EarningsAnalyzer:
             if crawled.digest in seen_abuse_digests:
                 continue
             try:
-                match = self._hashlist.match_hash(robust_hash(crawled.image.pixels))
+                match = self._hashlist.match_hash(self._hash_of(crawled))
                 if match.matched:
                     n_abuse += 1
                     seen_abuse_digests.add(crawled.digest)
                     crawled.image.drop_pixels()
                     continue
-                verdict = self._nsfv.classify(crawled.image.pixels)
+                verdict = self._classify(crawled)
             except Exception as exc:
                 # Defence in depth behind the ingest boundary: a record
                 # that still manages to poison the safety checks is
@@ -243,6 +259,33 @@ class EarningsAnalyzer:
             records=records,
             n_non_proofs=n_non_proofs,
         )
+
+    # ------------------------------------------------------------------
+    def _hash_of(self, crawled: CrawledImage) -> int:
+        """Perceptual hash, memoised by digest when a cache is attached."""
+        if self._cache is None:
+            return robust_hash(crawled.image.pixels)
+        return int(
+            self._cache.hash_for(
+                crawled.digest, lambda: robust_hash(crawled.image.pixels)
+            )
+        )
+
+    def _classify(self, crawled: CrawledImage):
+        """NSFV verdict, memoised by digest when a cache is attached.
+
+        The cached path goes through :meth:`NsfvClassifier.classify_batch`
+        (verdict-identical to :meth:`~NsfvClassifier.classify` by that
+        method's contract) with a lazy raster, so a warm digest never
+        renders pixels.
+        """
+        if self._cache is None:
+            return self._nsfv.classify(crawled.image.pixels)
+        return self._nsfv.classify_batch(
+            [lambda: crawled.image.pixels],
+            digests=[crawled.digest],
+            cache=self._cache,
+        )[0]
 
     # ------------------------------------------------------------------
     def _earnings_threads(self, threads: Sequence[Thread]) -> List[Thread]:

@@ -98,13 +98,19 @@ class NsfvClassifier:
 
     def classify_batch(
         self,
-        rasters: Sequence[np.ndarray],
+        rasters: Sequence[object],
         *,
         digests: Optional[Sequence[str]] = None,
         cache: Optional[VisionCache] = None,
         tracer=None,
     ) -> List[NsfvVerdict]:
         """Classify many rasters, optionally memoised through a cache.
+
+        ``rasters`` items may be arrays **or zero-argument callables**
+        returning an array: callables defer pixel materialisation to the
+        moment a score is actually computed, so a fully cache-warm batch
+        (an incremental re-run against a persistent store) never renders
+        a single raster.
 
         When ``digests`` (one content digest per raster, aligned) and a
         :class:`~repro.vision.cache.VisionCache` are both supplied, NSFW
@@ -123,12 +129,16 @@ class NsfvClassifier:
         items = rasters if isinstance(rasters, list) else list(rasters)
         if digests is not None and len(digests) != len(items):
             raise ValueError("digests must align one-to-one with rasters")
+
+        def pixels_of(item):
+            return item() if callable(item) else item
+
         with tracer.span("vision.nsfv_batch", n_images=len(items)) as span:
             if digests is None or cache is None:
                 verdicts_plain: List[NsfvVerdict] = []
                 n_ocr = 0
-                for pixels in items:
-                    verdict = self.classify(pixels)
+                for item in items:
+                    verdict = self.classify(pixels_of(item))
                     if (
                         self.sfv_threshold <= verdict.nsfw_score
                         and verdict.nsfw_score <= self.nsfv_threshold
@@ -141,13 +151,15 @@ class NsfvClassifier:
             verdicts: List[Optional[NsfvVerdict]] = [None] * len(items)
             seen: Dict[str, NsfvVerdict] = {}
             n_ocr = 0
-            for i, (pixels, digest) in enumerate(zip(items, digests)):
+            for i, (item, digest) in enumerate(zip(items, digests)):
                 cached = seen.get(digest)
                 if cached is not None:
                     verdicts[i] = cached
                     continue
                 nsfw = float(
-                    cache.nsfw_for(digest, lambda p=pixels: self.scorer.score(p))
+                    cache.nsfw_for(
+                        digest, lambda it=item: self.scorer.score(pixels_of(it))
+                    )
                 )
                 if nsfw < self.sfv_threshold:
                     verdict = NsfvVerdict(True, nsfw, 0)
@@ -156,7 +168,10 @@ class NsfvClassifier:
                 else:
                     n_ocr += 1
                     words = int(
-                        cache.ocr_for(digest, lambda p=pixels: self.ocr.word_count(p))
+                        cache.ocr_for(
+                            digest,
+                            lambda it=item: self.ocr.word_count(pixels_of(it)),
+                        )
                     )
                     if nsfw < self.low_band_threshold:
                         verdict = NsfvVerdict(words > self.low_ocr_words, nsfw, words)

@@ -231,6 +231,7 @@ class EwhoringPipeline:
         stage_hooks: Optional[Mapping[str, Callable[[], None]]] = None,
         telemetry: Optional[RunTelemetry] = None,
         crawl_workers: Optional[int] = None,
+        persist: Optional[object] = None,
     ) -> PipelineReport:
         """Execute the full measurement and return the report.
 
@@ -256,12 +257,26 @@ class EwhoringPipeline:
         digest, the quarantine ledger, the deterministic telemetry view
         — is bit-identical for any worker count (``None`` = the serial
         loop).
+
+        ``persist`` is a warm-memo bundle (duck-typed as
+        :class:`~repro.store.incremental.PersistSession`) carrying the
+        digest-keyed validation memo and per-stage crawl ingest memos a
+        persistent store loaded from earlier epochs.  Memos only skip
+        recomputation of pure per-record functions (render / validate /
+        digest), so every measured quantity — and the measurement view —
+        is bit-identical with or without them; a warm run merely does
+        less work (see DESIGN.md §12).
         """
         tele = telemetry if telemetry is not None else RunTelemetry()
         runner = StageRunner(strict=strict, hooks=stage_hooks, telemetry=tele)
         #: One ledger per run: every stage's record-level boundary admits
-        #: poison records here, and the report carries it out.
-        quarantine = Quarantine(tracer=tele.tracer)
+        #: poison records here, and the report carries it out.  With a
+        #: persist session its validation memo replays known-poison
+        #: digests without re-rendering their rasters.
+        quarantine = Quarantine(
+            tracer=tele.tracer,
+            validation_memo=persist.validation_memo if persist is not None else None,
+        )
         #: The run's shared cache narrates its batched kernels to the
         #: run's tracer (re-pointed each run; the cache may outlive it).
         self.vision_cache.set_tracer(tele.tracer)
@@ -270,6 +285,7 @@ class EwhoringPipeline:
                 runner, tele, quarantine,
                 top_oracle, proof_oracle, annotate_n, train_fraction,
                 min_ce_posts, key_actor_top_n, checkpoint, crawl_workers,
+                persist,
             )
         return report
 
@@ -287,6 +303,7 @@ class EwhoringPipeline:
         key_actor_top_n: int,
         checkpoint: Optional[Union[str, Path, CrawlCheckpoint]],
         crawl_workers: Optional[int] = None,
+        persist: Optional[object] = None,
     ) -> PipelineReport:
         """The stage chain, executed inside the ``pipeline.run`` span."""
         fetch_calls_start = self.internet.n_fetch_calls
@@ -323,14 +340,26 @@ class EwhoringPipeline:
         # ---- stage 2: URLs + crawl ----------------------------------
         def _stage_crawl():
             links = self.link_extractor(self.dataset, tops)
-            crawler = Crawler(self.internet, retry_policy=self.retry_policy)
+            crawler = Crawler(
+                self.internet,
+                retry_policy=self.retry_policy,
+                ingest_memo=(
+                    persist.ingest_memo("url_crawl") if persist is not None else None
+                ),
+            )
             stream: Optional[StreamMatcher] = None
             if crawl_workers is not None:
                 # Crawl→vision overlap: finished lanes stream their
                 # images through validation + batched hashing while
                 # later lanes are still crawling.  The sweep below
                 # consumes the precomputed results in canonical order.
-                stream = StreamMatcher(cache=self.vision_cache, validate=True)
+                stream = StreamMatcher(
+                    cache=self.vision_cache,
+                    validate=True,
+                    validation_memo=(
+                        persist.validation_memo if persist is not None else None
+                    ),
+                )
             result = crawler.crawl(
                 links.all_links,
                 checkpoint=checkpoint,
@@ -392,8 +421,10 @@ class EwhoringPipeline:
                 ref=lambda c: c.digest,
                 raster=lambda c: c.image.pixels,
             )
+            # Rasters go in as zero-arg callables so a cache-warm digest
+            # (an incremental re-run) never renders its pixels at all.
             verdicts = self.nsfv.classify_batch(
-                [c.image.pixels for c in previews],
+                [lambda c=c: c.image.pixels for c in previews],
                 digests=[c.digest for c in previews],
                 cache=self.vision_cache,
                 tracer=tele.tracer,
@@ -442,6 +473,10 @@ class EwhoringPipeline:
                 annotator=proof_oracle,
                 nsfv=self.nsfv,
                 quarantine=quarantine,
+                cache=self.vision_cache if persist is not None else None,
+                ingest_memo=(
+                    persist.ingest_memo("earnings") if persist is not None else None
+                ),
             ).analyze(selection)
             ce_table = currency_exchange_table(
                 self.dataset, min_ewhoring_posts=min_ce_posts, selection=selection

@@ -94,9 +94,15 @@ class Quarantine:
     default is the shared no-op recorder.
     """
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, validation_memo=None) -> None:
         self.records: List[QuarantineRecord] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional :class:`~repro.media.validate.ValidationMemo` shared
+        #: across every stage boundary that filters rasters through this
+        #: ledger.  All such boundaries validate with ``context ==
+        #: digest`` (a pure per-raster computation), so memoised replay
+        #: admits byte-identical records without re-rendering pixels.
+        self.validation_memo = validation_memo
 
     # ------------------------------------------------------------------
     # Admission
@@ -155,10 +161,14 @@ class Quarantine:
         payload access *or* validation fails are admitted to the ledger
         and dropped, the rest are returned in their original order.
         """
+        memo = self.validation_memo
         survivors: List[T] = []
         for item in items:
             try:
-                validate_raster(raster(item), context=ref(item))
+                if memo is not None:
+                    memo.validate(ref(item), lambda it=item: raster(it))
+                else:
+                    validate_raster(raster(item), context=ref(item))
             except Exception as exc:
                 self.admit(
                     stage, ref(item), exc, context(item) if context else None

@@ -1,6 +1,6 @@
 """repro.drift — adversarial drift: scenarios, decay measurement, defenses.
 
-The R4 robustness subsystem (DESIGN.md §12).  The paper measures a
+The R4 robustness subsystem (DESIGN.md §11).  The paper measures a
 snapshot of an ecosystem that, in reality, adapts: packs get re-uploaded
 under stacked transforms, links get de-fanged or laundered through
 redirectors, hosting domains churn, and actors migrate across forums.

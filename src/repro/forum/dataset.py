@@ -105,6 +105,62 @@ class ForumDataset:
         self._posts_by_thread[post.thread_id].append(post.post_id)
         self._posts_by_actor[post.author_id].append(post.post_id)
 
+    @classmethod
+    def from_sorted_records(
+        cls,
+        forums: Sequence[Forum],
+        boards: Sequence[Board],
+        actors: Sequence[Actor],
+        threads: Sequence[Thread],
+        posts: Sequence[Post],
+    ) -> "ForumDataset":
+        """Deserialisation fast path: bulk-fill from pre-sorted records.
+
+        ``add_*`` pays a per-record method call plus eager parent probes —
+        right for generators, wasteful for a store read of tens of
+        thousands of rows whose ordering the caller already guarantees
+        (posts grouped by thread in position order).  This builds the
+        tables and indices directly, then restores the same guarantees
+        another way: duplicate ids via table-vs-input length checks,
+        position contiguity inline, dangling references via
+        :meth:`validate`.  Any violation raises :class:`DatasetError`
+        exactly as the incremental path would.
+        """
+        dataset = cls()
+        dataset._forums = {f.forum_id: f for f in forums}
+        dataset._boards = {b.board_id: b for b in boards}
+        dataset._actors = {a.actor_id: a for a in actors}
+        dataset._threads = {t.thread_id: t for t in threads}
+        if (
+            len(dataset._forums) != len(forums)
+            or len(dataset._boards) != len(boards)
+            or len(dataset._actors) != len(actors)
+            or len(dataset._threads) != len(threads)
+        ):
+            raise DatasetError("duplicate record ids in bulk load")
+        for board in dataset._boards.values():
+            dataset._boards_by_forum[board.forum_id].append(board.board_id)
+        for thread in dataset._threads.values():
+            dataset._threads_by_board[thread.board_id].append(thread.thread_id)
+            dataset._threads_by_forum[thread.forum_id].append(thread.thread_id)
+        table = dataset._posts
+        by_thread = dataset._posts_by_thread
+        by_actor = dataset._posts_by_actor
+        for post in posts:
+            positions = by_thread[post.thread_id]
+            if post.position != len(positions):
+                raise DatasetError(
+                    f"post {post.post_id} has position {post.position}, "
+                    f"expected {len(positions)} for thread {post.thread_id}"
+                )
+            table[post.post_id] = post
+            positions.append(post.post_id)
+            by_actor[post.author_id].append(post.post_id)
+        if len(table) != len(posts):
+            raise DatasetError("duplicate post ids in bulk load")
+        dataset.validate()
+        return dataset
+
     # -- drift mutations -----------------------------------------------
     # Records are frozen; these swap a record for an edited copy while
     # keeping every secondary index consistent.  Used by ``repro.drift``

@@ -4,6 +4,22 @@ The on-disk format is one JSON object per line with a ``"kind"`` tag, in
 parents-first order, so a dataset streams back through
 :meth:`ForumDataset.extend` without buffering.  Datetimes are stored as ISO
 8601 strings.
+
+Timezone contract: naive datetimes round-trip exactly (the common
+case — CrimeBB timestamps are naive); timezone-*aware* datetimes also
+round-trip exactly, offset preserved, **provided the whole dataset is
+uniformly aware**.  Mixing naive and aware timestamps is rejected at
+save time with a :class:`~repro.forum.dataset.DatasetError`: a mixed
+dataset would reload into one whose date comparisons (thread ordering,
+epoch cutoffs, Table 1 first-post stamps) raise ``TypeError`` at
+arbitrary later points — the error belongs at the boundary, not in the
+middle of a measurement.
+
+Corruption contract: a file that is not valid JSONL, names an unknown
+record kind, carries malformed fields or fails dataset integrity checks
+raises :class:`~repro.store.errors.StoreCorruptionError` from
+:func:`load_dataset` — never a bare ``json``/``TypeError`` — and the
+partially decoded dataset is discarded, never returned.
 """
 
 from __future__ import annotations
@@ -12,7 +28,7 @@ import json
 from dataclasses import asdict
 from datetime import datetime
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from .dataset import DatasetError, ForumDataset
 from .models import Actor, Board, Forum, Post, Thread
@@ -30,7 +46,27 @@ _KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
 _DATE_FIELDS = ("registered_at", "created_at")
 
 
-def _encode(record: object) -> str:
+class _TzAudit:
+    """Tracks datetime awareness across one save; rejects mixtures."""
+
+    def __init__(self) -> None:
+        self._aware: Optional[bool] = None
+
+    def check(self, value: datetime, field_name: str, record: object) -> None:
+        aware = value.tzinfo is not None and value.tzinfo.utcoffset(value) is not None
+        if self._aware is None:
+            self._aware = aware
+            return
+        if self._aware != aware:
+            raise DatasetError(
+                f"mixed naive and timezone-aware datetimes: {field_name}="
+                f"{value.isoformat()} on {type(record).__name__} disagrees "
+                f"with earlier records; a mixed dataset cannot round-trip "
+                f"(date comparisons would raise TypeError after reload)"
+            )
+
+
+def _encode(record: object, audit: Optional[_TzAudit] = None) -> str:
     kind = _KIND_OF.get(type(record))
     if kind is None:
         raise DatasetError(f"cannot serialise {type(record).__name__}")
@@ -38,6 +74,8 @@ def _encode(record: object) -> str:
     for field_name in _DATE_FIELDS:
         value = payload.get(field_name)
         if isinstance(value, datetime):
+            if audit is not None:
+                audit.check(value, field_name, record)
             payload[field_name] = value.isoformat()
     payload["kind"] = kind
     return json.dumps(payload, sort_keys=True)
@@ -51,6 +89,8 @@ def _decode(line: str) -> object:
         raise DatasetError(f"unknown record kind {kind!r}")
     for field_name in _DATE_FIELDS:
         if field_name in payload and payload[field_name] is not None:
+            # fromisoformat restores any offset isoformat() wrote, so
+            # aware datetimes round-trip exactly, offset included.
             payload[field_name] = datetime.fromisoformat(payload[field_name])
     return cls(**payload)
 
@@ -65,20 +105,50 @@ def _iter_records(dataset: ForumDataset) -> Iterator[object]:
 
 
 def save_dataset(dataset: ForumDataset, path: Union[str, Path]) -> int:
-    """Write ``dataset`` to ``path`` as JSONL; returns the record count."""
-    count = 0
+    """Write ``dataset`` to ``path`` as JSONL; returns the record count.
+
+    Raises :class:`DatasetError` (before any partial write is left
+    behind: records are encoded ahead of the first byte written) when a
+    record cannot be serialised or when the dataset mixes naive and
+    timezone-aware datetimes (see the module timezone contract).
+    """
+    audit = _TzAudit()
+    lines = [_encode(record, audit) for record in _iter_records(dataset)]
     with open(path, "w", encoding="utf-8") as handle:
-        for record in _iter_records(dataset):
-            handle.write(_encode(record))
+        for line in lines:
+            handle.write(line)
             handle.write("\n")
-            count += 1
-    return count
+    return len(lines)
 
 
 def load_dataset(path: Union[str, Path]) -> ForumDataset:
-    """Load a JSONL dataset written by :func:`save_dataset`."""
+    """Load a JSONL dataset written by :func:`save_dataset`.
+
+    Raises :class:`~repro.store.errors.StoreCorruptionError` — citing
+    the offending line — for anything that is not a well-formed store:
+    garbage/truncated JSON, unknown kinds, malformed fields, integrity
+    violations.  On failure nothing is returned: a corrupt file can
+    never half-load into a pipeline run.
+    """
+    # Imported here (leaf module, no cycle risk) so repro.forum keeps
+    # importing even if repro.store grows heavier dependencies.
+    from ..store.errors import StoreCorruptionError
+
     dataset = ForumDataset()
-    with open(path, "r", encoding="utf-8") as handle:
-        dataset.extend(_decode(line) for line in handle if line.strip())
-    dataset.validate()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    dataset.extend([_decode(line)])
+                except (json.JSONDecodeError, DatasetError, TypeError, ValueError) as exc:
+                    raise StoreCorruptionError(
+                        f"{path}: line {lineno}: {exc}"
+                    ) from exc
+        dataset.validate()
+    except StoreCorruptionError:
+        raise
+    except DatasetError as exc:
+        raise StoreCorruptionError(f"{path}: {exc}") from exc
     return dataset

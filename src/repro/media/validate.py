@@ -34,7 +34,8 @@ NonFinitePixelError
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,9 +50,11 @@ __all__ = [
     "NonFinitePixelError",
     "TruncatedRasterError",
     "UnexpectedResourceError",
+    "ValidationMemo",
     "WrongDtypeError",
     "WrongShapeError",
     "ensure_color_raster",
+    "rebuild_error",
     "validate_raster",
 ]
 
@@ -162,6 +165,98 @@ def validate_raster(payload: Any, context: str = "") -> np.ndarray:
             f"raster contains NaN/Inf pixels: {_describe(payload)}{suffix}"
         )
     return payload
+
+
+def rebuild_error(error_type: str, message: str) -> Exception:
+    """Reconstruct a recorded validation failure as a raisable exception.
+
+    Persistent memos (:class:`ValidationMemo`, the crawler's ingest
+    memo) record failures as ``(error_type, message)`` strings; replay
+    needs an exception object whose class *name* and ``str()`` match the
+    original exactly, because that is all the quarantine ledger keeps.
+    Known taxonomy classes are reused; unknown names get a synthesised
+    ``Exception`` subclass of the same name.
+    """
+    cls = globals().get(error_type)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = type(error_type, (Exception,), {})
+    return cls(message)
+
+
+class ValidationMemo:
+    """Digest-keyed memo of :func:`validate_raster` outcomes.
+
+    Validation is a pure function of the raster, and every stage-level
+    boundary (abuse filter, NSFV, provenance, the streaming matcher)
+    validates with ``context = digest`` — so per digest the outcome
+    *and the error message* are deterministic, and a warm run can skip
+    both the raster render and the re-validation.  Entries are
+    ``digest -> None`` (clean) or ``digest -> (error_type, message)``.
+
+    Thread-safe: the streaming matcher writes from the executor's
+    consumer thread while serial boundaries read.
+    """
+
+    def __init__(self) -> None:
+        self._outcomes: Dict[str, Optional[Tuple[str, str]]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def lookup(self, digest: str) -> Tuple[bool, Optional[Tuple[str, str]]]:
+        """``(known, outcome)`` for ``digest``; counts one hit or miss."""
+        with self._lock:
+            if digest in self._outcomes:
+                self.hits += 1
+                return True, self._outcomes[digest]
+            self.misses += 1
+            return False, None
+
+    def record_ok(self, digest: str) -> None:
+        with self._lock:
+            self._outcomes[digest] = None
+
+    def record_error(self, digest: str, error: BaseException) -> None:
+        with self._lock:
+            self._outcomes[digest] = (type(error).__name__, str(error))
+
+    def validate(self, digest: str, raster_fn) -> None:
+        """Memoised ``validate_raster(raster_fn(), context=digest)``.
+
+        Raises the (possibly rebuilt) validation error exactly as the
+        unmemoised boundary would; on a memo hit the raster is never
+        materialised.
+        """
+        known, outcome = self.lookup(digest)
+        if known:
+            if outcome is not None:
+                raise rebuild_error(*outcome)
+            return
+        try:
+            validate_raster(raster_fn(), context=digest)
+        except Exception as exc:
+            self.record_error(digest, exc)
+            raise
+        self.record_ok(digest)
+
+    # -- persistence ----------------------------------------------------
+    def items(self) -> List[Tuple[str, Optional[Tuple[str, str]]]]:
+        """Snapshot as ``(digest, outcome)`` pairs for the store."""
+        with self._lock:
+            return list(self._outcomes.items())
+
+    def preload(
+        self, items: Iterable[Tuple[str, Optional[Tuple[str, str]]]]
+    ) -> None:
+        """Bulk-install persisted outcomes without counting hits/misses."""
+        with self._lock:
+            for digest, outcome in items:
+                self._outcomes[digest] = (
+                    None if outcome is None else (str(outcome[0]), str(outcome[1]))
+                )
 
 
 def ensure_color_raster(payload: Any, context: str = "") -> np.ndarray:

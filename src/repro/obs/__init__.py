@@ -111,6 +111,38 @@ class RunTelemetry:
             "metrics": self.metrics.deterministic_snapshot(),
         }
 
+    #: Metric name prefixes that count *work performed*, not quantities
+    #: measured: cache hit/miss tallies, store row/byte gauges, simulated
+    #: network accounting.  A memo-warm incremental run legitimately does
+    #: less work than a cold one while measuring the same world, so these
+    #: are outside the bit-identity contract of :meth:`measurement_view`.
+    WORK_METRIC_PREFIXES = ("vision_cache.", "store.", "internet.")
+
+    #: Exact metric names describing executor shape rather than the
+    #: world: ``crawl.lanes`` exists only when the sharded executor runs
+    #: (serial crawls never emit it), so it cannot be part of a contract
+    #: that holds across worker counts.
+    WORK_METRIC_NAMES = ("crawl.lanes",)
+
+    def measurement_view(self) -> dict:
+        """The run's *measured quantities*: the incremental-≡-cold contract.
+
+        Funnel plus deterministic metrics, minus the work-accounting
+        gauges (:data:`WORK_METRIC_PREFIXES`).  Two runs that observe the
+        same world must produce equal measurement views regardless of how
+        much memoised work each skipped — this is the headline invariant
+        of the persistent store (DESIGN.md §12), property-tested across
+        cold vs watermark-delta runs.
+        """
+        snapshot = self.deterministic_snapshot()
+        snapshot["metrics"] = [
+            metric
+            for metric in snapshot["metrics"]
+            if not metric["name"].startswith(self.WORK_METRIC_PREFIXES)
+            and metric["name"] not in self.WORK_METRIC_NAMES
+        ]
+        return snapshot
+
     def summary_lines(self) -> List[str]:
         """Short human-readable rendering for the CLI footer."""
         lines = []

@@ -1,0 +1,251 @@
+"""Watermark-based delta runs over a persistent :class:`RunStore`.
+
+:func:`run_incremental` is the engine behind ``repro run --store PATH
+--epoch N``: it builds the world's observation epoch *N*, appends only
+the records newer than the store's watermark (epochs nest, so the append
+is a pure delta), reloads the corpus through the store's canonical
+cursors, and executes the full pipeline with every persisted memo warm —
+the digest-keyed :class:`~repro.vision.cache.VisionCache`, the
+:class:`~repro.media.validate.ValidationMemo`, the per-stage crawl
+:class:`~repro.web.crawler.IngestMemo` and the world perceptual-hash
+memo.
+
+The headline invariant (DESIGN.md §12, property-tested): an incremental
+run over epochs ``1..N`` is **bit-identical** — crawl digest, quarantine
+ledger, measurement view — to a cold run over the union.  Memos only
+skip recomputation of pure per-record functions; nothing they return can
+differ from what a cold run would compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..media.validate import ValidationMemo
+from ..obs import RunTelemetry
+from ..synth.world import WorldConfig, build_world
+from ..vision.cache import VisionCache
+from ..web.crawler import IngestMemo
+from .errors import StoreConfigError
+from .sqlite import RunStore
+
+__all__ = ["IncrementalResult", "PersistSession", "run_incremental"]
+
+#: Pipeline stages that own a crawl ingest memo in the store.
+_INGEST_STAGES = ("url_crawl", "earnings")
+
+
+@dataclass
+class PersistSession:
+    """The warm-memo bundle a store lends to one pipeline run.
+
+    Ducked into :meth:`EwhoringPipeline.run` as ``persist``; every memo
+    is consulted-and-filled during the run and written back afterwards.
+    """
+
+    cache: VisionCache = field(default_factory=VisionCache)
+    validation_memo: ValidationMemo = field(default_factory=ValidationMemo)
+    ingest_memos: Dict[str, IngestMemo] = field(default_factory=dict)
+    #: Entry counts as loaded from the store; memo entries are pure and
+    #: immutable (they only accumulate), so an unchanged count at save
+    #: time means the store already holds everything and the write is
+    #: skipped — a steady-state delta run re-persists almost nothing.
+    _loaded_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def ingest_memo(self, stage: str) -> IngestMemo:
+        return self.ingest_memos.setdefault(stage, IngestMemo())
+
+    def _sizes(self) -> Dict[str, int]:
+        sizes = {
+            "vision_cache": sum(len(entry) for _, entry in self.cache.items()),
+            "validation_memo": len(self.validation_memo.items()),
+        }
+        for stage, memo in self.ingest_memos.items():
+            sizes[f"ingest:{stage}"] = len(memo.items())
+        return sizes
+
+    @classmethod
+    def load(cls, store: RunStore) -> "PersistSession":
+        session = cls()
+        store.load_vision_cache(session.cache)
+        store.load_validation_memo(session.validation_memo)
+        for stage in _INGEST_STAGES:
+            store.load_ingest_memo(stage, session.ingest_memo(stage))
+        session._loaded_sizes = session._sizes()
+        return session
+
+    def save(self, store: RunStore) -> None:
+        sizes = self._sizes()
+        loaded = self._loaded_sizes
+        if sizes["vision_cache"] != loaded.get("vision_cache"):
+            store.save_vision_cache(self.cache)
+        if sizes["validation_memo"] != loaded.get("validation_memo"):
+            store.save_validation_memo(self.validation_memo)
+        for stage, memo in sorted(self.ingest_memos.items()):
+            if sizes[f"ingest:{stage}"] != loaded.get(f"ingest:{stage}"):
+                store.save_ingest_memo(stage, memo)
+
+
+@dataclass
+class IncrementalResult:
+    """What one store-backed run produced and recorded."""
+
+    report: object  # PipelineReport
+    run_id: int
+    epoch: int
+    epoch_total: int
+    #: Dataset rows this run appended beyond the previous watermark.
+    rows_added: int
+    #: Post-append per-table row counts.
+    row_counts: Dict[str, int]
+    store_size_bytes: int
+    #: The run's bit-identity contract surface (see
+    #: :meth:`~repro.obs.RunTelemetry.measurement_view`).
+    measurement: dict
+
+    @property
+    def crawl_digest(self) -> str:
+        crawl = getattr(self.report, "crawl", None)
+        return crawl.digest() if crawl is not None else ""
+
+
+def run_incremental(
+    store: Union[str, Path, RunStore],
+    *,
+    epoch: Optional[int] = None,
+    config: Optional[WorldConfig] = None,
+    annotate_n: int = 1000,
+    strict: bool = True,
+    workers: Optional[int] = None,
+    telemetry: Optional[RunTelemetry] = None,
+    **config_overrides,
+) -> IncrementalResult:
+    """One watermark-delta (or cold) pipeline run against ``store``.
+
+    ``epoch`` selects the observation epoch (defaults to the config's
+    ``epoch``, else ``epoch_total`` — the whole timeline).  Running
+    epochs in increasing order makes each run a delta: the store refuses
+    to rewind (:class:`StoreConfigError`), refuses a config that differs
+    from the one it is bound to, and re-validates the *persisted* config
+    before trusting it (a tampered profile string fails eagerly).
+
+    The world is still generated deterministically each run (pure
+    hash-RNG — generation is cheap and keeps the ground-truth oracles
+    whole); what the store eliminates is the *expensive* work: image
+    hashing at build, and render/validate/digest/score work in the
+    pipeline, all memoised by content digest.
+    """
+    if config is None:
+        config = WorldConfig(**config_overrides)
+    elif config_overrides:
+        raise TypeError("pass either a WorldConfig or keyword overrides, not both")
+
+    effective_epoch = epoch if epoch is not None else config.epoch
+    if effective_epoch is None:
+        effective_epoch = config.epoch_total
+    cfg = replace(config, epoch=effective_epoch)
+
+    tele = telemetry if telemetry is not None else RunTelemetry()
+
+    own_store = not isinstance(store, RunStore)
+    run_store = RunStore(store) if own_store else store
+    try:
+        run_store.bind_config(cfg)
+        watermark = run_store.watermark("dataset")
+        if watermark is not None and effective_epoch < watermark["epoch"]:
+            raise StoreConfigError(
+                f"{run_store.path}: dataset watermark is at epoch "
+                f"{watermark['epoch']}; the store is append-only and cannot "
+                f"rewind to epoch {effective_epoch}"
+            )
+
+        # ---- build (hash-memo warm) and append the delta -------------
+        with tele.tracer.span("store.read", what="world_hashes"):
+            world_hashes = run_store.load_world_hashes()
+        n_hashes_loaded = len(world_hashes)
+        world = build_world(cfg, world_hashes=world_hashes)
+        if len(world_hashes) != n_hashes_loaded:
+            with tele.tracer.span("store.write", what="world_hashes"):
+                run_store.save_world_hashes(world_hashes)
+
+        with tele.tracer.span("store.write", what="dataset_delta") as span:
+            rows_added = run_store.append_dataset(
+                world.dataset,
+                since=watermark["cutoff"] if watermark is not None else None,
+            )
+            span.set(rows_added=rows_added)
+        post_dates = [p.created_at for p in world.dataset.posts()]
+        cutoff_iso = max(post_dates).isoformat() if post_dates else None
+        run_store.set_watermark("dataset", effective_epoch, cutoff_iso)
+        run_store.commit()
+
+        # ---- canonical re-read: stage inputs come from store cursors -
+        # Both cold and delta runs consume the corpus through the same
+        # ordered cursors, so equal record *sets* give equal stage
+        # inputs — in-memory generation order cannot leak into the
+        # equivalence contract.
+        with tele.tracer.span("store.read", what="dataset"):
+            world.dataset = run_store.read_dataset()
+        counts = run_store.row_counts()
+        for table, count in sorted(counts.items()):
+            tele.metrics.gauge(f"store.rows.{table}").set(count)
+        tele.metrics.gauge("store.rows_added").set(rows_added)
+
+        # ---- run the pipeline with every persisted memo warm ---------
+        with tele.tracer.span("store.read", what="memos"):
+            session = PersistSession.load(run_store)
+        from .. import run_pipeline
+
+        report = run_pipeline(
+            world,
+            annotate_n=annotate_n,
+            strict=strict,
+            telemetry=tele,
+            workers=workers,
+            vision_cache=session.cache,
+            persist=session,
+        )
+
+        # ---- fold results back into the store ------------------------
+        crawl = report.crawl
+        quarantine_records = (
+            [r.to_dict() for r in report.quarantine.records]
+            if report.quarantine is not None
+            else []
+        )
+        measurement = tele.measurement_view()
+        with tele.tracer.span("store.write", what="run_results"):
+            session.save(run_store)
+            if crawl is not None:
+                run_store.record_images(effective_epoch, crawl.all_images)
+            run_id = run_store.record_run(
+                effective_epoch,
+                crawl.digest() if crawl is not None else "",
+                quarantine_records,
+                tele.funnel(),
+            )
+            run_store.save_blob(
+                "measurement", f"epoch_{effective_epoch}", measurement
+            )
+            run_store.set_watermark(
+                "pipeline", effective_epoch, cutoff_iso, run_id
+            )
+            run_store.commit()
+        size = run_store.size_bytes()
+        tele.metrics.gauge("store.size_bytes").set(size)
+
+        return IncrementalResult(
+            report=report,
+            run_id=run_id,
+            epoch=effective_epoch,
+            epoch_total=cfg.epoch_total,
+            rows_added=rows_added,
+            row_counts=counts,
+            store_size_bytes=size,
+            measurement=measurement,
+        )
+    finally:
+        if own_store:
+            run_store.close()

@@ -1,0 +1,800 @@
+"""The append-only SQLite run store behind ``repro run --store``.
+
+One :class:`RunStore` file persists the full funnel across runs:
+
+* the forum corpus (typed tables generalising the JSONL
+  :mod:`repro.forum.store`, with the indexes the store cursors read);
+* per-stage watermarks — the observation epoch (and its post-date
+  cutoff) up to which the corpus has been generated and measured;
+* the warm-path memos that make delta runs cheap: the digest-keyed
+  :class:`~repro.vision.cache.VisionCache`, the per-payload crawl
+  :class:`~repro.web.crawler.IngestMemo`, the
+  :class:`~repro.media.validate.ValidationMemo`, the world perceptual-
+  hash memo, and per-stage :class:`~repro.web.checkpoint.CrawlCheckpoint`
+  snapshots;
+* run history — one row per pipeline run with its digest, funnel and
+  quarantine ledger, plus persisted longitudinal aggregates as JSON
+  blobs.
+
+Every SQLite failure crossing this boundary is wrapped in the typed
+taxonomy of :mod:`repro.store.errors`; a damaged file raises
+:class:`StoreCorruptionError` at open (integrity is probed eagerly) and
+never half-loads into a run.
+
+Writes are batched (``executemany`` inside one transaction per logical
+save) and dataset appends are idempotent ``INSERT OR IGNORE`` — the
+nested-epoch construction of :func:`repro.synth.world.epoch_cutoff`
+guarantees each epoch's visible records are a superset of the last, so
+re-appending is a no-op and the store is append-only by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import asdict
+from datetime import datetime
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Actor, Board, Forum, Post, Thread
+from .errors import StoreConfigError, StoreCorruptionError, StoreError
+
+__all__ = ["RunStore", "config_fingerprint"]
+
+_SCHEMA_VERSION = 1
+
+#: WorldConfig fields excluded from the identity fingerprint: the epoch
+#: is the watermark axis (it *varies* across runs of one store), and the
+#: worker count is a pure throughput knob that provably cannot change
+#: any measurement (PR 5's bit-identity invariant).
+_FINGERPRINT_EXCLUDED = ("epoch", "crawl_workers")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS forums (
+    forum_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    has_ewhoring_board INTEGER NOT NULL,
+    bans_ewhoring INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS boards (
+    board_id INTEGER PRIMARY KEY,
+    forum_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    category TEXT,
+    is_ewhoring_board INTEGER NOT NULL,
+    is_currency_exchange INTEGER NOT NULL,
+    is_bragging_board INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS actors (
+    actor_id INTEGER PRIMARY KEY,
+    forum_id INTEGER NOT NULL,
+    username TEXT NOT NULL,
+    registered_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS threads (
+    thread_id INTEGER PRIMARY KEY,
+    board_id INTEGER NOT NULL,
+    forum_id INTEGER NOT NULL,
+    author_id INTEGER NOT NULL,
+    heading TEXT NOT NULL,
+    created_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS posts (
+    post_id INTEGER PRIMARY KEY,
+    thread_id INTEGER NOT NULL,
+    author_id INTEGER NOT NULL,
+    created_at TEXT NOT NULL,
+    content TEXT NOT NULL,
+    position INTEGER NOT NULL,
+    quoted_post_id INTEGER
+);
+CREATE INDEX IF NOT EXISTS idx_boards_forum ON boards (forum_id);
+CREATE INDEX IF NOT EXISTS idx_threads_board ON threads (board_id);
+CREATE INDEX IF NOT EXISTS idx_threads_created ON threads (created_at);
+CREATE INDEX IF NOT EXISTS idx_posts_thread ON posts (thread_id, position);
+CREATE INDEX IF NOT EXISTS idx_posts_author ON posts (author_id);
+CREATE INDEX IF NOT EXISTS idx_posts_created ON posts (created_at);
+CREATE TABLE IF NOT EXISTS watermarks (
+    stage TEXT PRIMARY KEY,
+    epoch INTEGER NOT NULL,
+    cutoff TEXT,
+    run_id INTEGER
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    epoch INTEGER NOT NULL,
+    crawl_digest TEXT NOT NULL,
+    n_quarantined INTEGER NOT NULL,
+    funnel TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    run_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    stage TEXT NOT NULL,
+    ref TEXT NOT NULL,
+    error_type TEXT NOT NULL,
+    message TEXT NOT NULL,
+    context TEXT NOT NULL,
+    PRIMARY KEY (run_id, seq)
+);
+CREATE TABLE IF NOT EXISTS images (
+    digest TEXT PRIMARY KEY,
+    first_epoch INTEGER NOT NULL,
+    link_kind TEXT
+);
+CREATE TABLE IF NOT EXISTS vision_cache (
+    digest TEXT NOT NULL,
+    field TEXT NOT NULL,
+    value TEXT NOT NULL,
+    PRIMARY KEY (digest, field)
+);
+CREATE TABLE IF NOT EXISTS validation_memo (
+    digest TEXT PRIMARY KEY,
+    ok INTEGER NOT NULL,
+    error_type TEXT,
+    message TEXT
+);
+CREATE TABLE IF NOT EXISTS ingest_memo (
+    stage TEXT NOT NULL,
+    url TEXT NOT NULL,
+    pack_id INTEGER NOT NULL,
+    member_index INTEGER NOT NULL,
+    ok INTEGER NOT NULL,
+    digest TEXT,
+    error_type TEXT,
+    message TEXT,
+    PRIMARY KEY (stage, url, pack_id, member_index)
+);
+CREATE TABLE IF NOT EXISTS world_hashes (
+    image_id INTEGER PRIMARY KEY,
+    hash TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS blobs (
+    kind TEXT NOT NULL,
+    key TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (kind, key)
+);
+"""
+
+#: ``pack_id``/``member_index`` are part of the ingest-memo primary key,
+#: so NULL (preview links) is stored as this sentinel.
+_NULL_SENTINEL = -1
+
+
+def config_fingerprint(config) -> str:
+    """Canonical JSON identity of a world config, minus the epoch axis.
+
+    Two runs share a store iff their fingerprints match: same seed,
+    scale, fault/payload/drift profiles and rates.  The observation
+    ``epoch`` is deliberately excluded (it is the watermark, not the
+    identity) and so is ``crawl_workers`` (bit-identical by PR 5).
+    """
+    payload = asdict(config)
+    for excluded in _FINGERPRINT_EXCLUDED:
+        payload.pop(excluded, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _iso(value: datetime) -> str:
+    return value.isoformat()
+
+
+def _from_iso(value: str) -> datetime:
+    return datetime.fromisoformat(value)
+
+
+class RunStore:
+    """One SQLite-backed persistent store for incremental pipeline runs."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        try:
+            self._conn = sqlite3.connect(str(self.path))
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            # Probe integrity eagerly: a truncated or garbage file must
+            # fail here, typed, before anything is read out of it.
+            # quick_check catches malformed pages and truncation like the
+            # full check but skips index-order scans, keeping the probe
+            # O(pages) cheap on every open of a grown store.
+            probe = self._conn.execute("PRAGMA quick_check").fetchone()
+            if probe is None or probe[0] != "ok":
+                raise StoreCorruptionError(
+                    f"{self.path}: integrity check failed: {probe and probe[0]}"
+                )
+            self._conn.executescript(_SCHEMA)
+            self._migrate_meta()
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: not a usable store: {exc}"
+            ) from exc
+
+    def _migrate_meta(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(_SCHEMA_VERSION),),
+            )
+        elif int(row[0]) != _SCHEMA_VERSION:
+            raise StoreCorruptionError(
+                f"{self.path}: schema version {row[0]} unsupported "
+                f"(expected {_SCHEMA_VERSION})"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _execute(self, sql: str, params: Tuple = ()):
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise StoreCorruptionError(f"{self.path}: {exc}") from exc
+
+    def _executemany(self, sql: str, rows: Iterable[Tuple]) -> None:
+        try:
+            self._conn.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise StoreCorruptionError(f"{self.path}: {exc}") from exc
+
+    def commit(self) -> None:
+        try:
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreCorruptionError(f"{self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Config binding
+    # ------------------------------------------------------------------
+    def bind_config(self, config) -> None:
+        """Bind the store to a world config, or verify an existing binding.
+
+        First call stores the fingerprint; later calls require an exact
+        match (:class:`StoreConfigError` otherwise).  The *persisted*
+        copy is re-validated through ``WorldConfig(**payload)`` before
+        comparison — its eager ``__post_init__`` re-checks every profile
+        name, so a tampered store cannot smuggle an invalid
+        ``drift_profile``/``payload_profile`` string into a run.
+        """
+        from ..synth.world import WorldConfig
+
+        fingerprint = config_fingerprint(config)
+        row = self._execute(
+            "SELECT value FROM meta WHERE key='config_fingerprint'"
+        ).fetchone()
+        if row is None:
+            self._execute(
+                "INSERT INTO meta (key, value) VALUES ('config_fingerprint', ?)",
+                (fingerprint,),
+            )
+            self.commit()
+            return
+        stored = row[0]
+        try:
+            payload = json.loads(stored)
+            revalidated = WorldConfig(**payload)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: persisted config does not re-validate: {exc}"
+            ) from exc
+        if config_fingerprint(revalidated) != fingerprint:
+            raise StoreConfigError(
+                f"{self.path}: store is bound to a different world "
+                f"configuration; refusing to mix runs.\n"
+                f"  stored:    {stored}\n  requested: {fingerprint}"
+            )
+
+    # ------------------------------------------------------------------
+    # Watermarks
+    # ------------------------------------------------------------------
+    def watermark(self, stage: str = "dataset") -> Optional[Dict[str, Any]]:
+        row = self._execute(
+            "SELECT epoch, cutoff, run_id FROM watermarks WHERE stage=?",
+            (stage,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {"epoch": int(row[0]), "cutoff": row[1], "run_id": row[2]}
+
+    def set_watermark(
+        self,
+        stage: str,
+        epoch: int,
+        cutoff: Optional[str] = None,
+        run_id: Optional[int] = None,
+    ) -> None:
+        existing = self.watermark(stage)
+        if existing is not None and epoch < existing["epoch"]:
+            raise StoreConfigError(
+                f"{self.path}: watermark for {stage!r} is at epoch "
+                f"{existing['epoch']}; the store is append-only and cannot "
+                f"rewind to epoch {epoch}"
+            )
+        self._execute(
+            "INSERT INTO watermarks (stage, epoch, cutoff, run_id) "
+            "VALUES (?, ?, ?, ?) ON CONFLICT(stage) DO UPDATE SET "
+            "epoch=excluded.epoch, cutoff=excluded.cutoff, run_id=excluded.run_id",
+            (stage, int(epoch), cutoff, run_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Dataset tables
+    # ------------------------------------------------------------------
+    def append_dataset(
+        self, dataset: ForumDataset, since: Optional[str] = None
+    ) -> int:
+        """Idempotently upsert the dataset's records; returns rows added.
+
+        ``INSERT OR IGNORE`` keyed on primary ids makes the append a
+        delta write: records already persisted by an earlier epoch cost
+        one index probe each and change nothing.
+
+        ``since`` (the previous watermark's cutoff, an ISO timestamp —
+        by construction the newest post date visible at that epoch)
+        skips even the index probes for the bulk tables: threads created
+        at or before it, and each thread's post prefix up to the first
+        post after it, are exactly the records the earlier epoch already
+        persisted (the nested-epoch prefix rule of
+        :func:`~repro.synth.world.slice_dataset_to_epoch`), so only the
+        suffix is offered to SQLite at all.  Correctness never depends
+        on the filter — ``INSERT OR IGNORE`` would absorb any overlap —
+        it only removes ~90 % of the probe work from a ≤10 % delta.
+        """
+        before = self.row_counts()
+        threads = list(dataset.threads())
+        if since is None:
+            new_threads = threads
+            new_posts: Iterable[Post] = dataset.posts()
+        else:
+            since_dt = _from_iso(since)
+            new_threads = [t for t in threads if t.created_at > since_dt]
+            suffix: List[Post] = []
+            for thread in threads:
+                thread_posts = dataset.posts_in_thread(thread.thread_id)
+                prefix = 0
+                for post in thread_posts:
+                    if post.created_at > since_dt:
+                        break
+                    prefix += 1
+                suffix.extend(thread_posts[prefix:])
+            new_posts = suffix
+        self._executemany(
+            "INSERT OR IGNORE INTO forums VALUES (?, ?, ?, ?)",
+            (
+                (f.forum_id, f.name, int(f.has_ewhoring_board), int(f.bans_ewhoring))
+                for f in dataset.forums()
+            ),
+        )
+        self._executemany(
+            "INSERT OR IGNORE INTO boards VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    b.board_id, b.forum_id, b.name, b.category,
+                    int(b.is_ewhoring_board), int(b.is_currency_exchange),
+                    int(b.is_bragging_board),
+                )
+                for b in dataset.boards()
+            ),
+        )
+        self._executemany(
+            "INSERT OR IGNORE INTO actors VALUES (?, ?, ?, ?)",
+            (
+                (a.actor_id, a.forum_id, a.username, _iso(a.registered_at))
+                for a in dataset.actors()
+            ),
+        )
+        self._executemany(
+            "INSERT OR IGNORE INTO threads VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    t.thread_id, t.board_id, t.forum_id, t.author_id,
+                    t.heading, _iso(t.created_at),
+                )
+                for t in new_threads
+            ),
+        )
+        self._executemany(
+            "INSERT OR IGNORE INTO posts VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    p.post_id, p.thread_id, p.author_id, _iso(p.created_at),
+                    p.content, p.position, p.quoted_post_id,
+                )
+                for p in new_posts
+            ),
+        )
+        self.commit()
+        after = self.row_counts()
+        return sum(after.values()) - sum(before.values())
+
+    def read_dataset(self) -> ForumDataset:
+        """The persisted corpus, in canonical id order, fully validated.
+
+        Both cold and incremental runs read their dataset back through
+        this cursor, so stage inputs are identical whenever the record
+        *sets* are — insertion-order accidents of in-memory generation
+        cannot leak into the equivalence contract.
+        """
+        from_iso = _from_iso
+        try:
+            forums = [
+                Forum(int(r[0]), r[1], bool(r[2]), bool(r[3]))
+                for r in self._execute(
+                    "SELECT forum_id, name, has_ewhoring_board, bans_ewhoring "
+                    "FROM forums ORDER BY forum_id"
+                )
+            ]
+            boards = [
+                Board(
+                    int(r[0]), int(r[1]), r[2], r[3],
+                    bool(r[4]), bool(r[5]), bool(r[6]),
+                )
+                for r in self._execute(
+                    "SELECT board_id, forum_id, name, category, "
+                    "is_ewhoring_board, is_currency_exchange, "
+                    "is_bragging_board FROM boards ORDER BY board_id"
+                )
+            ]
+            actors = [
+                Actor(int(r[0]), int(r[1]), r[2], from_iso(r[3]))
+                for r in self._execute(
+                    "SELECT actor_id, forum_id, username, registered_at "
+                    "FROM actors ORDER BY actor_id"
+                )
+            ]
+            threads = [
+                Thread(
+                    int(r[0]), int(r[1]), int(r[2]), int(r[3]),
+                    r[4], from_iso(r[5]),
+                )
+                for r in self._execute(
+                    "SELECT thread_id, board_id, forum_id, author_id, "
+                    "heading, created_at FROM threads ORDER BY thread_id"
+                )
+            ]
+            posts = [
+                Post(
+                    int(r[0]), int(r[1]), int(r[2]), from_iso(r[3]),
+                    r[4], int(r[5]),
+                    None if r[6] is None else int(r[6]),
+                )
+                for r in self._execute(
+                    "SELECT post_id, thread_id, author_id, created_at, "
+                    "content, position, quoted_post_id FROM posts "
+                    "ORDER BY thread_id, position"
+                )
+            ]
+            dataset = ForumDataset.from_sorted_records(
+                forums, boards, actors, threads, posts
+            )
+        except (ValueError, TypeError) as exc:
+            # DatasetError subclasses ValueError: a store whose rows no
+            # longer satisfy forum integrity is corrupt, not half-usable.
+            raise StoreCorruptionError(
+                f"{self.path}: persisted dataset fails integrity checks: {exc}"
+            ) from exc
+        return dataset
+
+    def row_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for table in ("forums", "boards", "actors", "threads", "posts"):
+            counts[table] = int(
+                self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            )
+        return counts
+
+    # ------------------------------------------------------------------
+    # Memo persistence
+    # ------------------------------------------------------------------
+    def save_vision_cache(self, cache) -> int:
+        items = cache.items()
+        self._executemany(
+            "INSERT OR REPLACE INTO vision_cache (digest, field, value) "
+            "VALUES (?, ?, ?)",
+            (
+                (digest, fld, json.dumps(value))
+                for digest, entry in items
+                for fld, value in entry.items()
+            ),
+        )
+        self.commit()
+        return len(items)
+
+    def load_vision_cache(self, cache) -> int:
+        rows = self._execute(
+            "SELECT digest, field, value FROM vision_cache ORDER BY digest, field"
+        ).fetchall()
+        try:
+            grouped: Dict[str, Dict[str, object]] = {}
+            for digest, fld, value in rows:
+                grouped.setdefault(digest, {})[fld] = json.loads(value)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: vision cache payload is not JSON: {exc}"
+            ) from exc
+        cache.preload(list(grouped.items()))
+        return len(grouped)
+
+    def save_validation_memo(self, memo) -> int:
+        items = memo.items()
+        self._executemany(
+            "INSERT OR REPLACE INTO validation_memo "
+            "(digest, ok, error_type, message) VALUES (?, ?, ?, ?)",
+            (
+                (
+                    digest,
+                    int(outcome is None),
+                    None if outcome is None else outcome[0],
+                    None if outcome is None else outcome[1],
+                )
+                for digest, outcome in items
+            ),
+        )
+        self.commit()
+        return len(items)
+
+    def load_validation_memo(self, memo) -> int:
+        rows = self._execute(
+            "SELECT digest, ok, error_type, message FROM validation_memo"
+        ).fetchall()
+        memo.preload(
+            (digest, None if ok else (error_type, message))
+            for digest, ok, error_type, message in rows
+        )
+        return len(rows)
+
+    def save_ingest_memo(self, stage: str, memo) -> int:
+        items = memo.items()
+        self._executemany(
+            "INSERT OR REPLACE INTO ingest_memo "
+            "(stage, url, pack_id, member_index, ok, digest, error_type, message) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    stage,
+                    key[0],
+                    _NULL_SENTINEL if key[1] is None else int(key[1]),
+                    _NULL_SENTINEL if key[2] is None else int(key[2]),
+                    int(outcome[0] == "ok"),
+                    outcome[1] if outcome[0] == "ok" else None,
+                    outcome[1] if outcome[0] == "err" else None,
+                    outcome[2] if outcome[0] == "err" else None,
+                )
+                for key, outcome in items
+            ),
+        )
+        self.commit()
+        return len(items)
+
+    def load_ingest_memo(self, stage: str, memo) -> int:
+        rows = self._execute(
+            "SELECT url, pack_id, member_index, ok, digest, error_type, message "
+            "FROM ingest_memo WHERE stage=?",
+            (stage,),
+        ).fetchall()
+        entries = []
+        for url, pack_id, member_index, ok, digest, error_type, message in rows:
+            key = (
+                url,
+                None if pack_id == _NULL_SENTINEL else int(pack_id),
+                None if member_index == _NULL_SENTINEL else int(member_index),
+            )
+            if ok:
+                if digest is None:
+                    raise StoreCorruptionError(
+                        f"{self.path}: ingest memo row for {url} marked ok "
+                        f"but has no digest"
+                    )
+                entries.append((key, ("ok", digest)))
+            else:
+                entries.append((key, ("err", error_type or "", message or "")))
+        memo.preload(entries)
+        return len(entries)
+
+    def save_world_hashes(self, hashes: Dict[int, int]) -> int:
+        self._executemany(
+            "INSERT OR REPLACE INTO world_hashes (image_id, hash) VALUES (?, ?)",
+            ((int(image_id), str(int(value))) for image_id, value in hashes.items()),
+        )
+        self.commit()
+        return len(hashes)
+
+    def load_world_hashes(self) -> Dict[int, int]:
+        try:
+            return {
+                int(row[0]): int(row[1])
+                for row in self._execute(
+                    "SELECT image_id, hash FROM world_hashes"
+                )
+            }
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: world hash rows are not integers: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Checkpoints and aggregate blobs
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, stage: str, checkpoint) -> None:
+        payload = {
+            "completed": checkpoint.completed,
+            "stats": checkpoint.stats,
+            "breakers": checkpoint.breakers,
+            "clock": checkpoint.clock,
+            "budget_spent": checkpoint.budget_spent,
+            "domain_clocks": checkpoint.domain_clocks,
+        }
+        self.save_blob("checkpoint", stage, payload)
+
+    def load_checkpoint(self, stage: str):
+        from ..web.checkpoint import CrawlCheckpoint
+
+        payload = self.load_blob("checkpoint", stage)
+        if payload is None:
+            return CrawlCheckpoint()
+        try:
+            return CrawlCheckpoint(
+                completed=dict(payload["completed"]),
+                stats=payload.get("stats"),
+                breakers=payload.get("breakers"),
+                clock=float(payload.get("clock", 0.0)),
+                budget_spent=int(payload.get("budget_spent", 0)),
+                domain_clocks={
+                    str(d): float(t)
+                    for d, t in payload.get("domain_clocks", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: checkpoint blob for {stage!r} is malformed: {exc}"
+            ) from exc
+
+    def save_blob(self, kind: str, key: str, payload: Any) -> None:
+        try:
+            encoded = json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"blob {kind}/{key} is not JSON-serialisable: {exc}") from exc
+        self._execute(
+            "INSERT OR REPLACE INTO blobs (kind, key, payload) VALUES (?, ?, ?)",
+            (kind, key, encoded),
+        )
+        self.commit()
+
+    def load_blob(self, kind: str, key: str) -> Optional[Any]:
+        row = self._execute(
+            "SELECT payload FROM blobs WHERE kind=? AND key=?", (kind, key)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: blob {kind}/{key} is not JSON: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Run history
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        epoch: int,
+        crawl_digest: str,
+        quarantine_records: List[dict],
+        funnel: List[dict],
+    ) -> int:
+        cursor = self._execute(
+            "INSERT INTO runs (epoch, crawl_digest, n_quarantined, funnel) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                int(epoch),
+                crawl_digest,
+                len(quarantine_records),
+                json.dumps(funnel, sort_keys=True),
+            ),
+        )
+        run_id = int(cursor.lastrowid)
+        self._executemany(
+            "INSERT INTO quarantine "
+            "(run_id, seq, stage, ref, error_type, message, context) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    run_id, seq, record["stage"], record["ref"],
+                    record["error_type"], record["message"],
+                    json.dumps(record.get("context", {}), sort_keys=True),
+                )
+                for seq, record in enumerate(quarantine_records)
+            ),
+        )
+        self.commit()
+        return run_id
+
+    def runs(self) -> List[Dict[str, Any]]:
+        rows = self._execute(
+            "SELECT run_id, epoch, crawl_digest, n_quarantined, funnel "
+            "FROM runs ORDER BY run_id"
+        ).fetchall()
+        try:
+            return [
+                {
+                    "run_id": int(r[0]),
+                    "epoch": int(r[1]),
+                    "crawl_digest": r[2],
+                    "n_quarantined": int(r[3]),
+                    "funnel": json.loads(r[4]),
+                }
+                for r in rows
+            ]
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: run funnel payload is not JSON: {exc}"
+            ) from exc
+
+    def quarantine_records(self, run_id: int) -> List[dict]:
+        rows = self._execute(
+            "SELECT stage, ref, error_type, message, context FROM quarantine "
+            "WHERE run_id=? ORDER BY seq",
+            (run_id,),
+        ).fetchall()
+        try:
+            return [
+                {
+                    "stage": r[0],
+                    "ref": r[1],
+                    "error_type": r[2],
+                    "message": r[3],
+                    "context": json.loads(r[4]),
+                }
+                for r in rows
+            ]
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: quarantine context is not JSON: {exc}"
+            ) from exc
+
+    def record_images(self, epoch: int, crawled: Iterable) -> int:
+        rows = [
+            (c.digest, int(epoch), c.link.link_kind) for c in crawled
+        ]
+        self._executemany(
+            "INSERT OR IGNORE INTO images (digest, first_epoch, link_kind) "
+            "VALUES (?, ?, ?)",
+            rows,
+        )
+        self.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """On-disk footprint (main file + WAL, for growth benchmarks)."""
+        total = self.path.stat().st_size if self.path.exists() else 0
+        for suffix in ("-wal", "-shm"):
+            side = Path(str(self.path) + suffix)
+            if side.exists():
+                total += side.stat().st_size
+        return total
+
+    def checkpoint_wal(self) -> None:
+        """Fold the WAL into the main file (before size measurements)."""
+        try:
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error as exc:  # pragma: no cover - defensive
+            raise StoreCorruptionError(f"{self.path}: {exc}") from exc

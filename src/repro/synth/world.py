@@ -49,7 +49,13 @@ from .models_gen import (
     generate_supply_side,
 )
 
-__all__ = ["World", "WorldConfig", "build_world"]
+__all__ = [
+    "World",
+    "WorldConfig",
+    "build_world",
+    "epoch_cutoff",
+    "slice_dataset_to_epoch",
+]
 
 #: Latest date the TinEye-analogue could have crawled anything.
 _CRAWL_HORIZON = datetime(2019, 9, 30)
@@ -106,6 +112,18 @@ class WorldConfig:
     drift_profile: Optional[str] = None
     #: How many drift epochs to apply cumulatively (0 = none).
     drift_epoch: int = 0
+    #: Observation epoch for incremental runs: ``None`` observes the
+    #: whole timeline; ``epoch=e`` of ``epoch_total=N`` truncates the
+    #: *observable* dataset at the e/N-th post-date quantile (the
+    #: ground-truth oracles stay whole).  ``epoch == epoch_total`` is
+    #: by construction identical to ``epoch=None``.  Epochs nest: the
+    #: records visible at epoch e are a strict prefix (per thread) of
+    #: those visible at e+1, which is what makes watermark-based delta
+    #: runs append-only (see :mod:`repro.store`).
+    epoch: Optional[int] = None
+    #: Number of equal-population observation epochs the timeline is
+    #: divided into (only meaningful alongside ``epoch``).
+    epoch_total: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0 or self.scale > 2.0:
@@ -118,6 +136,10 @@ class WorldConfig:
             payload_profile(self.payload_profile)  # validate the name eagerly
         if self.drift_epoch < 0:
             raise ValueError("drift_epoch must be >= 0")
+        if self.epoch_total < 1:
+            raise ValueError("epoch_total must be >= 1")
+        if self.epoch is not None and not (1 <= self.epoch <= self.epoch_total):
+            raise ValueError("epoch must be in [1, epoch_total]")
         if self.drift_profile is not None:
             from ..drift.profiles import drift_profile
 
@@ -149,11 +171,22 @@ class World:
         return self.forums
 
 
-def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
+def build_world(
+    config: Optional[WorldConfig] = None,
+    world_hashes: Optional[Dict[int, int]] = None,
+    **overrides,
+) -> World:
     """Construct a fully wired synthetic world.
 
     Accepts either a prebuilt :class:`WorldConfig` or keyword overrides:
     ``build_world(seed=3, scale=0.02)``.
+
+    ``world_hashes`` is an optional ``image_id -> perceptual hash`` memo
+    (plain ints) consulted and filled while building the web
+    intelligence: hashing circulating images dominates build time, and
+    the hash of an image is a pure function of the world seed, so a
+    persistent store can carry it across runs.  The memo changes no rng
+    draw and no value — bit-identity is unaffected.
     """
     if config is None:
         config = WorldConfig(**overrides)
@@ -208,7 +241,8 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
 
     # ----------------------------------------------------- web intelligence
     _build_web_intelligence(
-        tree, supply, forums, reverse_index, archive, hashlist
+        tree, supply, forums, reverse_index, archive, hashlist,
+        world_hashes=world_hashes,
     )
 
     world = World(
@@ -237,7 +271,84 @@ def build_world(config: Optional[WorldConfig] = None, **overrides) -> World:
             epoch=config.drift_epoch,
             seed=tree.seed("drift"),
         )
+
+    # ------------------------------------------------------------- epoch
+    # Observation-epoch truncation comes last of all, over the (possibly
+    # drifted) full world, so the generated content and every rng stream
+    # are identical across epochs — an epoch only restricts what the
+    # pipeline may *observe*, never what exists.
+    if config.epoch is not None:
+        cutoff = epoch_cutoff(world.dataset, config.epoch, config.epoch_total)
+        if cutoff is not None:
+            world.dataset = slice_dataset_to_epoch(world.dataset, cutoff)
     return world
+
+
+# ----------------------------------------------------------------------
+# Observation epochs
+# ----------------------------------------------------------------------
+
+def epoch_cutoff(
+    dataset: ForumDataset, epoch: int, epoch_total: int
+) -> Optional[datetime]:
+    """Post-date quantile cutoff for observation epoch ``epoch`` of ``epoch_total``.
+
+    Forum activity is heavily tail-weighted (the paper's Figure 4 growth
+    curve), so equal *time* slices would make late epochs far larger
+    than early ones.  Epochs are therefore equal-*population*: the
+    cutoff for epoch ``e`` is the date of the ``ceil(n·e/N)``-th oldest
+    post, giving every delta roughly ``1/N`` of the records.  The final
+    epoch returns ``None`` — no truncation, by construction identical to
+    observing the whole timeline.
+    """
+    if epoch >= epoch_total:
+        return None
+    dates = sorted(post.created_at for post in dataset.posts())
+    if not dates:
+        return None
+    index = -(-len(dates) * epoch // epoch_total) - 1  # ceil(n·e/N) - 1
+    return dates[max(0, index)]
+
+
+def slice_dataset_to_epoch(dataset: ForumDataset, cutoff: datetime) -> ForumDataset:
+    """The observable prefix of ``dataset`` at ``cutoff``, as a new dataset.
+
+    Inclusion rules (all deterministic, all order-preserving):
+
+    * forums and boards — always (structure predates activity);
+    * threads — ``created_at <= cutoff``;
+    * posts — the per-thread *prefix* up to the first post dated after
+      the cutoff, so positions stay contiguous and the visible set at
+      epoch ``e`` is a prefix of the set at ``e+1`` (append-only
+      deltas);
+    * actors — registered by the cutoff, or the author of any included
+      thread/post (authorship integrity beats registration date).
+    """
+    included_threads = [t for t in dataset.threads() if t.created_at <= cutoff]
+    included_ids = {t.thread_id for t in included_threads}
+    included_posts = []
+    for thread in included_threads:
+        for post in dataset.posts_in_thread(thread.thread_id):
+            if post.created_at > cutoff:
+                break
+            included_posts.append(post)
+
+    author_ids = {t.author_id for t in included_threads}
+    author_ids.update(p.author_id for p in included_posts)
+
+    sliced = ForumDataset()
+    for forum in dataset.forums():
+        sliced.add_forum(forum)
+    for board in dataset.boards():
+        sliced.add_board(board)
+    for actor in dataset.actors():
+        if actor.registered_at <= cutoff or actor.actor_id in author_ids:
+            sliced.add_actor(actor)
+    for thread in included_threads:
+        sliced.add_thread(thread)
+    for post in included_posts:
+        sliced.add_post(post)
+    return sliced
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +388,7 @@ def _build_web_intelligence(
     reverse_index: ReverseImageIndex,
     archive: WaybackArchive,
     hashlist: HashListService,
+    world_hashes: Optional[Dict[int, int]] = None,
 ) -> None:
     rng = tree.rng("webintel")
     in_use = _circulating_in_use(supply, forums)
@@ -297,7 +409,18 @@ def _build_web_intelligence(
             victim_ages[model_id] = 17 if len(verified_model_ids) == 1 else 8
 
     for circulating in in_use:
-        base_hash = robust_hash(circulating.image.pixels)
+        image_id = circulating.image.image_id
+        memoised = None if world_hashes is None else world_hashes.get(image_id)
+        if memoised is None:
+            # Rendering + hashing here dominates world-build time; the
+            # hash is a pure function of the world seed, so persistent
+            # runs memoise it by image id (no rng draw is involved, so
+            # the memo cannot perturb any stream below).
+            base_hash = robust_hash(circulating.image.pixels)
+            if world_hashes is not None:
+                world_hashes[image_id] = int(base_hash)
+        else:
+            base_hash = int(memoised)
         circulating.image.drop_pixels()
         fill_copy_hashes(rng, circulating, base_hash)
 

@@ -203,6 +203,28 @@ class VisionCache:
                 n_entries=len(self._entries),
             )
 
+    def items(self) -> List[Tuple[str, Dict[str, object]]]:
+        """Snapshot of every entry as ``(digest, {field: value})`` pairs.
+
+        Values are the plain ints/floats the cache memoises, so the
+        snapshot is JSON-serialisable as-is — this is the persistence
+        export used by :mod:`repro.store`.  LRU order and counters are
+        unaffected.
+        """
+        with self._lock:
+            return [(digest, dict(entry)) for digest, entry in self._entries.items()]
+
+    def preload(self, items: Sequence[Tuple[str, Dict[str, object]]]) -> None:
+        """Bulk-install persisted entries without touching hit/miss counters.
+
+        The inverse of :meth:`items`: warm-starting a run from a
+        persistent store must not perturb the cache statistics that
+        belong to the run itself (``put`` already counts nothing).
+        """
+        for digest, entry in items:
+            for fld, value in entry.items():
+                self.put(digest, fld, value)
+
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         with self._lock:

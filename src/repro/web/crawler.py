@@ -54,9 +54,11 @@ from typing import (
     Union,
 )
 
+import threading
+
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
-from ..media.validate import UnexpectedResourceError, validate_raster
+from ..media.validate import UnexpectedResourceError, rebuild_error, validate_raster
 from ..obs.trace import NULL_TRACER
 from .checkpoint import CrawlCheckpoint, link_key
 from .faults import stable_uniform
@@ -72,6 +74,7 @@ __all__ = [
     "CrawlStats",
     "CrawledImage",
     "Crawler",
+    "IngestMemo",
     "LinkAttempt",
     "LinkAttemptLog",
     "LinkOutcome",
@@ -79,6 +82,66 @@ __all__ = [
     "ShardState",
     "content_digest",
 ]
+
+
+#: Memo key: ``(url, pack_id, member_index)`` — one per ingested payload.
+IngestKey = Tuple[str, Optional[int], Optional[int]]
+
+
+class IngestMemo:
+    """Persistent memo of per-payload ingest outcomes.
+
+    The crawler's :meth:`Crawler._ingest` boundary renders each payload,
+    validates it and digests its bytes — the dominant cost of a crawl.
+    All three are pure functions of ``(url, pack_id, member_index)`` for
+    a fixed world seed (payload corruption is injected per-URL by pure
+    hashes, and validation messages at ingest use the URL as context),
+    so a warm run can replay the recorded outcome: clean payloads get
+    their digest back without touching pixels, poisoned ones re-admit a
+    byte-identical quarantine record.
+
+    Entries are ``key -> ("ok", digest)`` or ``key -> ("err",
+    error_type, message)``.  Thread-safe: sharded crawls ingest from
+    worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._outcomes: Dict[IngestKey, Tuple[str, ...]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def lookup(self, key: IngestKey) -> Optional[Tuple[str, ...]]:
+        with self._lock:
+            outcome = self._outcomes.get(key)
+            if outcome is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return outcome
+
+    def record_ok(self, key: IngestKey, digest: str) -> None:
+        with self._lock:
+            self._outcomes[key] = ("ok", digest)
+
+    def record_error(self, key: IngestKey, error: BaseException) -> None:
+        with self._lock:
+            self._outcomes[key] = ("err", type(error).__name__, str(error))
+
+    # -- persistence ----------------------------------------------------
+    def items(self) -> List[Tuple[IngestKey, Tuple[str, ...]]]:
+        with self._lock:
+            return list(self._outcomes.items())
+
+    def preload(
+        self, items: Iterable[Tuple[IngestKey, Tuple[str, ...]]]
+    ) -> None:
+        with self._lock:
+            for key, outcome in items:
+                self._outcomes[tuple(key)] = tuple(outcome)  # type: ignore[index]
 
 
 def content_digest(image: SyntheticImage) -> str:
@@ -441,6 +504,7 @@ class Crawler:
         breaker_cooldown: float = 60.0,
         jitter_seed: int = 0,
         validate_payloads: bool = True,
+        ingest_memo: Optional[IngestMemo] = None,
     ):
         self._internet = internet
         self._policy = retry_policy if retry_policy is not None else RetryPolicy()
@@ -448,6 +512,9 @@ class Crawler:
         self._breaker_cooldown = breaker_cooldown
         self._jitter_seed = jitter_seed
         self._validate_payloads = validate_payloads
+        #: Optional persistent memo of per-payload ingest outcomes; a
+        #: hit skips the render/validate/digest work (see IngestMemo).
+        self._ingest_memo = ingest_memo
 
     # ------------------------------------------------------------------
     def crawl(
@@ -858,17 +925,41 @@ class Crawler:
             context["pack_id"] = pack_id
         if member_index is not None:
             context["member_index"] = member_index
+        memo = self._ingest_memo if self._validate_payloads else None
+        if memo is not None:
+            key: IngestKey = (url_str, pack_id, member_index)
+            outcome = memo.lookup(key)
+            if outcome is not None:
+                if outcome[0] == "ok":
+                    # Replay: the digest is memoised, so the raster is
+                    # never rendered — pixels stay lazy until (if ever)
+                    # a downstream cache miss demands them.
+                    return CrawledImage(
+                        image=image,
+                        digest=outcome[1],
+                        link=link,
+                        pack_id=pack_id,
+                    )
+                quarantine.admit(
+                    stage, url_str, rebuild_error(outcome[1], outcome[2]), context
+                )
+                return None
         try:
             pixels = image.pixels
             if self._validate_payloads:
                 validate_raster(pixels, context=url_str)
-            return CrawledImage(
+            crawled = CrawledImage(
                 image=image,
                 digest=content_digest(image),
                 link=link,
                 pack_id=pack_id,
             )
+            if memo is not None:
+                memo.record_ok(key, crawled.digest)
+            return crawled
         except Exception as exc:
+            if memo is not None:
+                memo.record_error(key, exc)
             quarantine.admit(stage, url_str, exc, context)
             return None
 

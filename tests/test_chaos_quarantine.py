@@ -327,3 +327,57 @@ class TestPipelineInvariant:
         text = render_digest(report)
         assert "== quarantine (record-level faults) ==" in text
         assert "records quarantined" in text
+
+
+# ----------------------------------------------------------------------
+# Fault profiles × incremental store runs (DESIGN.md §12)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestFaultProfilesThroughStore:
+    """The fault matrix crossed with the watermark-delta engine.
+
+    Payload corruption and transport chaos are injected per-URL by pure
+    hashes, so a delta run replaying warm memos over a hostile world
+    must admit the *same* quarantine ledger — and the same clean-record
+    outputs — as a cold run over the union.  A memo that cached its way
+    past an injected fault would break the injected == quarantined
+    invariant silently; this pins it across profiles.
+    """
+
+    @pytest.mark.parametrize(
+        "fault_kw",
+        [
+            {"payload_profile": "hostile"},
+            {"fault_profile": "hostile"},
+            {"fault_profile": "flaky", "payload_profile": "dirty"},
+        ],
+        ids=["payload", "transport", "transport+payload"],
+    )
+    def test_incremental_ledger_matches_cold(self, tmp_path, fault_kw):
+        from repro.store import run_incremental
+
+        cfg = dict(WORLD_KW, epoch_total=2, **fault_kw)
+        cold = run_incremental(tmp_path / "cold.sqlite", epoch=2, **cfg)
+        run_incremental(tmp_path / "inc.sqlite", epoch=1, **cfg)
+        inc = run_incremental(tmp_path / "inc.sqlite", epoch=2, **cfg)
+
+        cold_ledger = [r.to_dict() for r in cold.report.quarantine.records]
+        inc_ledger = [r.to_dict() for r in inc.report.quarantine.records]
+        assert inc_ledger == cold_ledger
+        assert inc.crawl_digest == cold.crawl_digest
+        # zero stage failures on both paths: poison still dies at record
+        # boundaries when every memo is warm
+        assert cold.report.stage_failures == []
+        assert inc.report.stage_failures == []
+
+    def test_injected_equals_quarantined_through_store(self, tmp_path):
+        from repro.store import run_incremental
+
+        cfg = dict(WORLD_KW, epoch_total=2, payload_profile="hostile")
+        run_incremental(tmp_path / "s.sqlite", epoch=1, **cfg)
+        result = run_incremental(tmp_path / "s.sqlite", epoch=2, **cfg)
+        report = result.report
+        assert report.n_quarantined > 0
+        assert sum(report.quarantine.by_error().values()) == report.n_quarantined

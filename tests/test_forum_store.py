@@ -1,6 +1,6 @@
 """Tests for JSONL dataset persistence."""
 
-from datetime import datetime
+from datetime import datetime, timedelta, timezone
 
 import pytest
 
@@ -14,6 +14,8 @@ from repro.forum import (
     load_dataset,
     save_dataset,
 )
+from repro.forum.dataset import DatasetError
+from repro.store.errors import StoreCorruptionError
 
 T0 = datetime(2014, 6, 15, 12, 30)
 
@@ -71,6 +73,83 @@ class TestRoundTrip:
         path.write_text(path.read_text() + "\n\n")
         loaded = load_dataset(path)
         assert loaded.n_posts == 2
+
+
+def aware_dataset(offset_hours: int = 2) -> ForumDataset:
+    tz = timezone(timedelta(hours=offset_hours))
+    t0 = T0.replace(tzinfo=tz)
+    ds = ForumDataset()
+    ds.add_forum(Forum(1, "F", has_ewhoring_board=True))
+    ds.add_board(Board(2, 1, "eWhoring", category="Market", is_ewhoring_board=True))
+    ds.add_actor(Actor(3, 1, "carol", t0))
+    ds.add_thread(Thread(4, 2, 1, 3, "pack thread", t0))
+    ds.add_post(Post(5, 4, 3, t0, "aware post", 0))
+    return ds
+
+
+class TestTimezoneContract:
+    def test_uniformly_aware_round_trips_exactly(self, tmp_path):
+        ds = aware_dataset()
+        path = tmp_path / "aware.jsonl"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        post = loaded.post(5)
+        assert post.created_at == ds.post(5).created_at
+        assert post.created_at.tzinfo is not None
+        # exact, not merely equal-instant: the offset itself survives
+        assert post.created_at.utcoffset() == timedelta(hours=2)
+        assert loaded.actor(3).registered_at == ds.actor(3).registered_at
+
+    def test_mixed_naive_and_aware_rejected_at_save(self, tmp_path):
+        ds = aware_dataset()
+        ds.add_post(Post(6, 4, 3, T0, "naive straggler", 1))  # no tzinfo
+        path = tmp_path / "mixed.jsonl"
+        with pytest.raises(DatasetError, match="mixed naive"):
+            save_dataset(ds, path)
+
+    def test_rejected_save_leaves_no_partial_file(self, tmp_path):
+        ds = aware_dataset()
+        ds.add_post(Post(6, 4, 3, T0, "naive straggler", 1))
+        path = tmp_path / "mixed.jsonl"
+        with pytest.raises(DatasetError):
+            save_dataset(ds, path)
+        assert not path.exists()
+
+
+class TestCorruptionContract:
+    def test_garbage_json_raises_typed_with_line(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"kind": "forum", "forum_id": 1, "name": "F", '
+                        '"has_ewhoring_board": true, "bans_ewhoring": false}\n'
+                        "{{{not json at all\n")
+        with pytest.raises(StoreCorruptionError, match="line 2"):
+            load_dataset(path)
+
+    def test_truncated_record_raises_typed(self, sample_dataset, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_dataset(sample_dataset, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        with pytest.raises(StoreCorruptionError):
+            load_dataset(path)
+
+    def test_malformed_field_raises_typed(self, tmp_path):
+        path = tmp_path / "badfield.jsonl"
+        path.write_text('{"kind": "forum", "forum_id": 1, "name": "F", '
+                        '"has_ewhoring_board": true, "bans_ewhoring": false}\n'
+                        '{"kind": "actor", "actor_id": 2, "forum_id": 1, '
+                        '"username": "u", "registered_at": "not-a-date"}\n')
+        with pytest.raises(StoreCorruptionError, match="line 2"):
+            load_dataset(path)
+
+    def test_integrity_violation_raises_typed(self, tmp_path):
+        path = tmp_path / "dangling.jsonl"
+        path.write_text('{"kind": "forum", "forum_id": 1, "name": "F", '
+                        '"has_ewhoring_board": true, "bans_ewhoring": false}\n'
+                        '{"kind": "actor", "actor_id": 2, "forum_id": 99, '
+                        '"username": "u", "registered_at": "2014-06-15T12:30:00"}\n')
+        with pytest.raises(StoreCorruptionError):
+            load_dataset(path)
 
 
 class TestWorldRoundTrip:
