@@ -3,11 +3,35 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
+from typing import Any
+
+from repro.atomicio import atomic_write_json, atomic_write_text
 
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def scale_note() -> str:
     """One-line provenance header for every emitted table."""
     return f"(seed={BENCH_SEED}, scale={BENCH_SCALE} of paper population)"
+
+
+def write_result_text(name: str, text: str) -> Path:
+    """Atomically write ``results/<name>.txt`` (DESIGN.md §13).
+
+    Routed through :func:`repro.atomicio.atomic_write_text` so an
+    interrupted benchmark run leaves the previous complete artifact,
+    never a torn one — CI uploads these files directly.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
+
+
+def write_result_json(name: str, payload: Any, **dumps_kwargs: Any) -> Path:
+    """Atomically write ``results/<name>.json``."""
+    dumps_kwargs.setdefault("indent", 2)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return atomic_write_json(RESULTS_DIR / f"{name}.json", payload, **dumps_kwargs)

@@ -20,16 +20,13 @@ the human-readable table.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro import run_pipeline
 from repro.obs import RunTelemetry, Tracer
 
-from _common import BENCH_SCALE, BENCH_SEED, scale_note
+from _common import BENCH_SCALE, BENCH_SEED, scale_note, write_result_json
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 REPEATS = 3
 OVERHEAD_TARGET = 0.03
@@ -95,10 +92,7 @@ def test_o1_telemetry_overhead(bench_world, benchmark, emit):
         "funnel": tele_on.funnel(),
         "deterministic_views_equal": deterministic,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_result_json("BENCH_telemetry", payload)
 
     lines = [
         "O1 — telemetry overhead and determinism " + scale_note(),

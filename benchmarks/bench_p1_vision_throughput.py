@@ -19,10 +19,8 @@ Env knobs: ``REPRO_BENCH_VISION_N`` (raster count, default 512),
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -31,9 +29,8 @@ from scipy import fft as scipy_fft
 from repro.vision import hash_batch, robust_hash
 from repro.vision.batch import prepare_thumbnails
 
-from _common import BENCH_SCALE, BENCH_SEED, scale_note
+from _common import BENCH_SCALE, BENCH_SEED, scale_note, write_result_json
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 N_RASTERS = int(os.environ.get("REPRO_BENCH_VISION_N", "512"))
 REPEATS = int(os.environ.get("REPRO_BENCH_VISION_REPEATS", "3"))
@@ -146,10 +143,7 @@ def test_p1_vision_throughput(rasters, bench_report, benchmark, emit):
             else None
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_vision.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_result_json("BENCH_vision", payload)
 
     speed = payload["speedup"]["batched_vs_seed_scalar"]
     lines = [

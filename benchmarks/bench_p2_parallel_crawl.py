@@ -60,7 +60,7 @@ from repro.web import (
     payload_profile,
 )
 
-from _common import BENCH_SCALE, BENCH_SEED
+from _common import BENCH_SCALE, BENCH_SEED, write_result_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 T0 = datetime(2014, 5, 1)
@@ -288,7 +288,7 @@ def test_p2_parallel_crawl(emit):
             existing_enforced = False
         if existing_enforced:
             side = RESULTS_DIR / "BENCH_parallel.unenforced.json"
-            side.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+            write_result_json(side.name[: -len(".json")], payload)
             print(
                 f"\n!!! refusing to overwrite gate-enforced {artifact.name} "
                 f"with an unenforced {CPUS}-CPU recording; wrote {side.name}",
@@ -296,7 +296,7 @@ def test_p2_parallel_crawl(emit):
             )
             artifact = None
     if artifact is not None:
-        artifact.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        write_result_json(artifact.name[: -len(".json")], payload)
 
     lines = [
         "P2 parallel crawl "

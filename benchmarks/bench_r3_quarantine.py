@@ -18,16 +18,13 @@ the human-readable table.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro.core.quarantine import Quarantine
 from repro.web import Crawler, PayloadFaultInjector, payload_profile
 
-from _common import BENCH_SCALE, BENCH_SEED, scale_note
+from _common import BENCH_SCALE, BENCH_SEED, scale_note, write_result_json
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 PROFILES = ("dirty", "hostile")
 PAYLOAD_SEED = 29
@@ -109,10 +106,7 @@ def test_r3_quarantine(bench_world, bench_report, benchmark, emit):
             s["injected"] == s["quarantined"] for s in profile_stats.values()
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_quarantine.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_result_json("BENCH_quarantine", payload)
 
     lines = [
         "R3 — payload corruption, ingest validation, quarantine " + scale_note(),

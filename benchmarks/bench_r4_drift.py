@@ -24,15 +24,12 @@ Env knobs: ``REPRO_BENCH_DRIFT_EPOCHS`` (default 2),
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
 from repro.drift import DefenseConfig, STAGE_NAMES, run_drift
 
-from _common import BENCH_SCALE, BENCH_SEED
+from _common import BENCH_SCALE, BENCH_SEED, write_result_json
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 PROFILES = ("mild", "aggressive", "hostile")
 EPOCHS = int(os.environ.get("REPRO_BENCH_DRIFT_EPOCHS", "2"))
@@ -136,8 +133,5 @@ def test_r4_drift_decay_and_recovery(emit):
         },
         "profiles": results,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_drift.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    write_result_json("BENCH_drift", payload, sort_keys=True)
     emit("BENCH_drift", "\n".join(lines))

@@ -25,18 +25,15 @@ Env knobs: ``REPRO_BENCH_STORE_EPOCHS`` (default 10),
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.store import RunStore, run_incremental
 
-from _common import BENCH_SCALE, BENCH_SEED
+from _common import BENCH_SCALE, BENCH_SEED, write_result_json
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 EPOCH_TOTAL = int(os.environ.get("REPRO_BENCH_STORE_EPOCHS", "10"))
 RATIO_GATE = float(os.environ.get("REPRO_BENCH_STORE_RATIO", "0.40"))
@@ -119,10 +116,7 @@ def test_s1_store_delta_runs(emit, tmp_path_factory):
             },
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_store.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_result_json("BENCH_store", payload)
 
     emit(
         "BENCH_store",

@@ -20,7 +20,12 @@ import pytest
 from repro import build_world, run_pipeline
 from repro.synth import WorldConfig
 
-from _common import BENCH_SCALE, BENCH_SEED, scale_note  # noqa: F401
+from _common import (  # noqa: F401
+    BENCH_SCALE,
+    BENCH_SEED,
+    scale_note,
+    write_result_text,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -40,11 +45,8 @@ def bench_report(bench_world):
 @pytest.fixture(scope="session")
 def emit():
     """Callable writing a named result table to disk and stdout."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-
     def _emit(name: str, text: str) -> None:
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n", encoding="utf-8")
+        write_result_text(name, text)
         print(f"\n=== {name} ===\n{text}")
 
     return _emit

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Five subcommands:
+Six subcommands:
 
 * ``repro build``  — generate a synthetic world and save its forum
   dataset as JSONL;
@@ -11,7 +11,11 @@ Five subcommands:
 * ``repro drift``  — the adversarial-drift decay experiment: per-stage
   recall/precision by epoch, defenses off vs on;
 * ``repro trace``  — render a previously written trace file as a
-  per-stage flame summary and funnel table.
+  per-stage flame summary and funnel table;
+* ``repro store``  — crash-recovery tooling for persistent run stores:
+  ``verify`` (integrity probe + watermark/fingerprint report, typed
+  exit codes) and ``repair`` (salvage the committed prefix of a
+  damaged store).
 
 Examples::
 
@@ -26,9 +30,17 @@ Examples::
     repro drift --profile hostile --epochs 2 --out drift.json
     repro build --seed 11 --scale 0.05 --out world.jsonl
     repro tables --seed 11 --scale 0.05 --out results/
+    repro store verify store.sqlite                   # post-crash health probe
+    repro store repair store.sqlite                   # salvage committed epochs
 
 Progress goes through :mod:`repro.obs.log` (structured ``logging`` on
 stderr, JSON with ``--log-json``); measurement output stays on stdout.
+
+Interruption contract (DESIGN.md §13): SIGINT/SIGTERM during ``run``
+checkpoints the crawl, rolls back any open store epoch transaction
+(the store stays at its previous watermark), closes the store cleanly
+and exits with the conventional distinct code ``128 + signum`` (130
+for SIGINT, 143 for SIGTERM).
 """
 
 from __future__ import annotations
@@ -39,6 +51,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from . import build_world, run_pipeline
+from .atomicio import atomic_write_text
+from .chaos import SignalInterrupt, graceful_signals, install_from_env
 from .obs import RunTelemetry, Tracer, get_logger, setup_logging
 from .obs.export import (
     build_manifest,
@@ -210,6 +224,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="flame-summary nesting depth (default 6)",
     )
 
+    p_store = sub.add_parser(
+        "store",
+        help="inspect and repair persistent run stores (crash recovery)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_verify = store_sub.add_parser(
+        "verify",
+        help="integrity probe + watermark/fingerprint report; exit 0 ok, "
+             "3 corrupt, 4 config mismatch",
+    )
+    p_verify.add_argument("path", type=Path, help="store file to probe")
+    p_verify.add_argument(
+        "--shallow", action="store_true",
+        help="skip the full corpus re-validation (page-level probe only)",
+    )
+    p_repair = store_sub.add_parser(
+        "repair",
+        help="salvage the committed epochs of a damaged store (torn WAL "
+             "drop, then row-level rebuild); refuses when the committed "
+             "prefix is unrecoverable",
+    )
+    p_repair.add_argument("path", type=Path, help="store file to repair")
+    p_repair.add_argument(
+        "--shallow", action="store_true",
+        help="skip the full corpus re-validation in the post-repair verify",
+    )
+    p_repair.add_argument(
+        "--no-backup", action="store_true",
+        help="do not keep the damaged original as <store>.corrupt",
+    )
+
     return parser
 
 
@@ -225,9 +270,7 @@ def _write_tables(report, out_dir: Path) -> list:
     }
     written = []
     for name, text in tables.items():
-        path = out_dir / f"{name}.txt"
-        path.write_text(text + "\n", encoding="utf-8")
-        written.append(path)
+        written.append(atomic_write_text(out_dir / f"{name}.txt", text + "\n"))
     return written
 
 
@@ -349,8 +392,8 @@ def _run_drift_command(args, log) -> int:
             print(f"{stage:<12} " + " ".join(f"{value:7.3f}" for value in curve))
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.out}")
     return 0
@@ -422,10 +465,68 @@ def _run_store_command(args, log) -> int:
     return 0
 
 
+def _run_store_tool(args, log) -> int:
+    """``repro store verify|repair`` — typed exit codes throughout.
+
+    0 = healthy (or repaired); :data:`~repro.store.EXIT_CORRUPT` (3) =
+    damaged / unrecoverable; :data:`~repro.store.EXIT_CONFIG` (4) = the
+    file is intact but disagrees with its own bookkeeping or config.
+    """
+    from .store import (
+        EXIT_CONFIG,
+        EXIT_CORRUPT,
+        StoreConfigError,
+        StoreCorruptionError,
+        repair_store,
+        verify_store,
+    )
+
+    deep = not args.shallow
+    try:
+        if args.store_command == "verify":
+            report = verify_store(args.path, deep=deep)
+            print("\n".join(report.summary_lines()))
+            print("store OK")
+        else:
+            result = repair_store(
+                args.path, deep=deep, backup=not args.no_backup
+            )
+            print("\n".join(result.summary_lines()))
+            if result.repaired:
+                log.info("repaired %s (%d actions)", args.path, len(result.actions))
+        return 0
+    except StoreConfigError as exc:
+        log.error("store %s failed: %s", args.store_command, exc)
+        return EXIT_CONFIG
+    except StoreCorruptionError as exc:
+        log.error("store %s failed: %s", args.store_command, exc)
+        return EXIT_CORRUPT
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
     log = get_logger("cli")
+    # Arm the chaos monkey when a test driver set REPRO_CHAOS_* in our
+    # environment (no-op otherwise; see repro.chaos).
+    install_from_env()
+    try:
+        with graceful_signals():
+            return _dispatch(args, log)
+    except SignalInterrupt as exc:
+        # The unwind already did the durable work: crawl checkpoint
+        # synced and saved, store epoch transaction rolled back (the
+        # store is at its previous watermark) and closed.
+        log.error(
+            "%s: state checkpointed, store closed cleanly; exiting %d",
+            exc, exc.exit_code,
+        )
+        return exc.exit_code
+
+
+def _dispatch(args, log) -> int:
+    if args.command == "store":
+        return _run_store_tool(args, log)
 
     if args.command == "trace":
         meta, spans = read_trace(args.path)

@@ -114,10 +114,11 @@ def save_dataset(dataset: ForumDataset, path: Union[str, Path]) -> int:
     """
     audit = _TzAudit()
     lines = [_encode(record, audit) for record in _iter_records(dataset)]
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in lines:
-            handle.write(line)
-            handle.write("\n")
+    # Atomic replace (DESIGN.md §13): encode-then-rename means neither a
+    # serialisation error nor a crash mid-write can leave a torn file.
+    from ..atomicio import atomic_write_text
+
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
     return len(lines)
 
 

@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..atomicio import atomic_write_text
 from .metrics import is_runtime_metric
 
 __all__ = [
@@ -96,12 +97,13 @@ def write_trace(
     if meta:
         header.update(dict(meta))
         header["type"] = "meta"  # callers cannot overwrite the line type
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(json.dumps(header, sort_keys=True, default=str) + "\n")
-        for span in spans:
-            record = span.as_dict() if hasattr(span, "as_dict") else dict(span)
-            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-    return path
+    lines = [json.dumps(header, sort_keys=True, default=str)]
+    for span in spans:
+        record = span.as_dict() if hasattr(span, "as_dict") else dict(span)
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    # Atomic replace (DESIGN.md §13): a crash mid-export leaves the
+    # previous complete trace or none, never a torn JSONL tail.
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
@@ -216,12 +218,10 @@ def build_manifest(
 
 
 def write_manifest(path: Union[str, Path], manifest: Mapping[str, Any]) -> Path:
-    path = Path(path)
-    path.write_text(
+    return atomic_write_text(
+        Path(path),
         json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n",
-        encoding="utf-8",
     )
-    return path
 
 
 def deterministic_manifest_view(manifest: Mapping[str, Any]) -> Dict[str, Any]:

@@ -14,20 +14,51 @@ Public surface:
   :class:`IncrementalResult` — the delta-run engine;
 * :class:`StoreError` / :class:`StoreCorruptionError` /
   :class:`StoreConfigError` — the typed failure taxonomy every store
-  boundary raises (never bare ``sqlite3``/``json`` exceptions).
+  boundary raises (never bare ``sqlite3``/``json`` exceptions);
+* :func:`verify_store` / :func:`repair_store` — the crash-recovery
+  tooling behind ``repro store verify|repair`` (DESIGN.md §13).
 """
 
 from .errors import StoreConfigError, StoreCorruptionError, StoreError
-from .incremental import IncrementalResult, PersistSession, run_incremental
+from .recover import (
+    EXIT_CONFIG,
+    EXIT_CORRUPT,
+    EXIT_OK,
+    RepairReport,
+    VerifyReport,
+    repair_store,
+    verify_store,
+)
 from .sqlite import RunStore, config_fingerprint
 
+#: The delta-run engine is imported lazily: ``repro.store.incremental``
+#: pulls in the whole pipeline (``repro.web``), whose checkpoint module
+#: depends back on :mod:`repro.store.errors` for its typed corruption
+#: taxonomy — eager import here would be a cycle.
+_LAZY = ("IncrementalResult", "PersistSession", "run_incremental")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "EXIT_CONFIG",
+    "EXIT_CORRUPT",
+    "EXIT_OK",
     "IncrementalResult",
     "PersistSession",
+    "RepairReport",
     "RunStore",
     "StoreConfigError",
     "StoreCorruptionError",
     "StoreError",
+    "VerifyReport",
     "config_fingerprint",
+    "repair_store",
     "run_incremental",
+    "verify_store",
 ]

@@ -15,6 +15,12 @@ run over epochs ``1..N`` is **bit-identical** — crawl digest, quarantine
 ledger, measurement view — to a cold run over the union.  Memos only
 skip recomputation of pure per-record functions; nothing they return can
 differ from what a cold run would compute.
+
+Crash consistency (DESIGN.md §13): the whole epoch is one
+:meth:`RunStore.transaction` — dying at any instant (the kill-point
+chaos harness injects ``SIGKILL`` mid-epoch and on the commit edge)
+leaves the store at the previous watermark, and re-running the killed
+epoch converges bit-identically to a run that was never interrupted.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..chaos.sites import kill_point
 from ..media.validate import ValidationMemo
 from ..obs import RunTelemetry
 from ..synth.world import WorldConfig, build_world
@@ -161,78 +168,87 @@ def run_incremental(
                 f"rewind to epoch {effective_epoch}"
             )
 
-        # ---- build (hash-memo warm) and append the delta -------------
-        with tele.tracer.span("store.read", what="world_hashes"):
-            world_hashes = run_store.load_world_hashes()
-        n_hashes_loaded = len(world_hashes)
-        world = build_world(cfg, world_hashes=world_hashes)
-        if len(world_hashes) != n_hashes_loaded:
-            with tele.tracer.span("store.write", what="world_hashes"):
-                run_store.save_world_hashes(world_hashes)
+        # ---- the atomic epoch unit (DESIGN.md §13) -------------------
+        # Every write of this epoch — world hashes, corpus delta,
+        # watermarks, memos, run record, measurement blob — commits in
+        # ONE SQLite transaction at block exit.  A crash (or SIGKILL:
+        # the chaos harness injects one at every site below) at any
+        # instant before the commit edge rolls the store back to the
+        # previous watermark; a partial epoch is never visible.
+        with run_store.transaction(), tele.tracer.span("store.epoch"):
+            with tele.tracer.span("store.read", what="world_hashes"):
+                world_hashes = run_store.load_world_hashes()
+            n_hashes_loaded = len(world_hashes)
+            world = build_world(cfg, world_hashes=world_hashes)
+            if len(world_hashes) != n_hashes_loaded:
+                with tele.tracer.span("store.write", what="world_hashes"):
+                    run_store.save_world_hashes(world_hashes)
 
-        with tele.tracer.span("store.write", what="dataset_delta") as span:
-            rows_added = run_store.append_dataset(
-                world.dataset,
-                since=watermark["cutoff"] if watermark is not None else None,
+            with tele.tracer.span("store.write", what="dataset_delta") as span:
+                rows_added = run_store.append_dataset(
+                    world.dataset,
+                    since=watermark["cutoff"] if watermark is not None else None,
+                )
+                span.set(rows_added=rows_added)
+            post_dates = [p.created_at for p in world.dataset.posts()]
+            cutoff_iso = max(post_dates).isoformat() if post_dates else None
+            run_store.set_watermark("dataset", effective_epoch, cutoff_iso)
+            kill_point("store.dataset.appended")
+
+            # ---- canonical re-read: stage inputs come from store
+            # cursors.  Both cold and delta runs consume the corpus
+            # through the same ordered cursors, so equal record *sets*
+            # give equal stage inputs — in-memory generation order
+            # cannot leak into the equivalence contract.  (Pending
+            # writes are visible mid-transaction on this connection.)
+            with tele.tracer.span("store.read", what="dataset"):
+                world.dataset = run_store.read_dataset()
+            counts = run_store.row_counts()
+            for table, count in sorted(counts.items()):
+                tele.metrics.gauge(f"store.rows.{table}").set(count)
+            tele.metrics.gauge("store.rows_added").set(rows_added)
+
+            # ---- run the pipeline with every persisted memo warm -----
+            with tele.tracer.span("store.read", what="memos"):
+                session = PersistSession.load(run_store)
+            from .. import run_pipeline
+
+            report = run_pipeline(
+                world,
+                annotate_n=annotate_n,
+                strict=strict,
+                telemetry=tele,
+                workers=workers,
+                vision_cache=session.cache,
+                persist=session,
             )
-            span.set(rows_added=rows_added)
-        post_dates = [p.created_at for p in world.dataset.posts()]
-        cutoff_iso = max(post_dates).isoformat() if post_dates else None
-        run_store.set_watermark("dataset", effective_epoch, cutoff_iso)
-        run_store.commit()
 
-        # ---- canonical re-read: stage inputs come from store cursors -
-        # Both cold and delta runs consume the corpus through the same
-        # ordered cursors, so equal record *sets* give equal stage
-        # inputs — in-memory generation order cannot leak into the
-        # equivalence contract.
-        with tele.tracer.span("store.read", what="dataset"):
-            world.dataset = run_store.read_dataset()
-        counts = run_store.row_counts()
-        for table, count in sorted(counts.items()):
-            tele.metrics.gauge(f"store.rows.{table}").set(count)
-        tele.metrics.gauge("store.rows_added").set(rows_added)
-
-        # ---- run the pipeline with every persisted memo warm ---------
-        with tele.tracer.span("store.read", what="memos"):
-            session = PersistSession.load(run_store)
-        from .. import run_pipeline
-
-        report = run_pipeline(
-            world,
-            annotate_n=annotate_n,
-            strict=strict,
-            telemetry=tele,
-            workers=workers,
-            vision_cache=session.cache,
-            persist=session,
-        )
-
-        # ---- fold results back into the store ------------------------
-        crawl = report.crawl
-        quarantine_records = (
-            [r.to_dict() for r in report.quarantine.records]
-            if report.quarantine is not None
-            else []
-        )
-        measurement = tele.measurement_view()
-        with tele.tracer.span("store.write", what="run_results"):
-            session.save(run_store)
-            if crawl is not None:
-                run_store.record_images(effective_epoch, crawl.all_images)
-            run_id = run_store.record_run(
-                effective_epoch,
-                crawl.digest() if crawl is not None else "",
-                quarantine_records,
-                tele.funnel(),
+            # ---- fold results back into the store --------------------
+            crawl = report.crawl
+            quarantine_records = (
+                [r.to_dict() for r in report.quarantine.records]
+                if report.quarantine is not None
+                else []
             )
-            run_store.save_blob(
-                "measurement", f"epoch_{effective_epoch}", measurement
-            )
-            run_store.set_watermark(
-                "pipeline", effective_epoch, cutoff_iso, run_id
-            )
-            run_store.commit()
+            measurement = tele.measurement_view()
+            with tele.tracer.span("store.write", what="run_results"):
+                session.save(run_store)
+                kill_point("store.memos.saved")
+                if crawl is not None:
+                    run_store.record_images(effective_epoch, crawl.all_images)
+                run_id = run_store.record_run(
+                    effective_epoch,
+                    crawl.digest() if crawl is not None else "",
+                    quarantine_records,
+                    tele.funnel(),
+                )
+                kill_point("store.run.recorded")
+                run_store.save_blob(
+                    "measurement", f"epoch_{effective_epoch}", measurement
+                )
+                run_store.set_watermark(
+                    "pipeline", effective_epoch, cutoff_iso, run_id
+                )
         size = run_store.size_bytes()
         tele.metrics.gauge("store.size_bytes").set(size)
 

@@ -26,17 +26,27 @@ save) and dataset appends are idempotent ``INSERT OR IGNORE`` — the
 nested-epoch construction of :func:`repro.synth.world.epoch_cutoff`
 guarantees each epoch's visible records are a superset of the last, so
 re-appending is a no-op and the store is append-only by construction.
+
+Crash consistency (DESIGN.md §13): an incremental run wraps *all* of an
+epoch's writes — corpus delta, watermarks, memos, run record,
+measurement blob — in one :meth:`RunStore.transaction`.  Inside the
+block every :meth:`commit` defers to the single ``COMMIT`` issued at
+exit, so a process dying at any instant (the chaos harness injects
+``SIGKILL`` on the commit edge itself) leaves the store exactly at the
+previous watermark; a partial epoch is never visible to a reader.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from dataclasses import asdict
 from datetime import datetime
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..chaos.sites import kill_point
 from ..forum.dataset import ForumDataset
 from ..forum.models import Actor, Board, Forum, Post, Thread
 from .errors import StoreConfigError, StoreCorruptionError, StoreError
@@ -195,6 +205,7 @@ class RunStore:
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        self._txn_depth = 0
         try:
             self._conn = sqlite3.connect(str(self.path))
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -255,10 +266,60 @@ class RunStore:
             raise StoreCorruptionError(f"{self.path}: {exc}") from exc
 
     def commit(self) -> None:
+        """Commit pending writes — deferred inside a :meth:`transaction`.
+
+        Every logical save calls this, so wrapping a sequence of saves
+        in :meth:`transaction` atomically batches them: the per-save
+        commits become no-ops and the one real ``COMMIT`` happens at
+        block exit (or nothing does, on a crash).
+        """
+        if self._txn_depth:
+            return
         try:
             self._conn.commit()
         except sqlite3.Error as exc:
             raise StoreCorruptionError(f"{self.path}: {exc}") from exc
+
+    @property
+    def in_transaction(self) -> bool:
+        """True inside an open :meth:`transaction` block."""
+        return self._txn_depth > 0
+
+    @contextmanager
+    def transaction(self) -> Iterator["RunStore"]:
+        """One atomic commit unit spanning many logical saves.
+
+        The crash-consistency primitive of the store: all writes issued
+        inside the block become visible in a single SQLite ``COMMIT``
+        at exit; any exception — including ``BaseException`` stop
+        requests like :class:`~repro.chaos.SignalInterrupt` — rolls the
+        whole unit back.  Reads inside the block observe the pending
+        writes (same connection), so watermark checks and canonical
+        re-reads work mid-epoch.  Nested use flattens into the
+        outermost unit.
+        """
+        if self._txn_depth:
+            self._txn_depth += 1
+            try:
+                yield self
+            finally:
+                self._txn_depth -= 1
+            return
+        self._txn_depth = 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth = 0
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:  # pragma: no cover - rollback best effort
+                pass
+            raise
+        else:
+            self._txn_depth = 0
+            kill_point("store.commit.before")
+            self.commit()
+            kill_point("store.commit.after")
 
     # ------------------------------------------------------------------
     # Config binding

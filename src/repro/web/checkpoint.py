@@ -19,20 +19,39 @@ are a pure function of ``(url, attempt)``, never of crawl order.
 
 Resume is idempotent: crawling an already-complete checkpoint again
 replays the recorded outcomes without re-counting anything.
+
+Durability contract (DESIGN.md §13): saves go through
+:func:`repro.atomicio.atomic_write_text` — temp file + ``os.replace`` —
+so a crash mid-save leaves the previous complete snapshot, never a torn
+file.  A file that *is* torn some other way (truncation, bit rot,
+partial copy) fails :meth:`CrawlCheckpoint.load` with a typed
+:class:`CheckpointError`, never a half-loaded checkpoint.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-__all__ = ["CrawlCheckpoint", "link_key"]
+from ..atomicio import atomic_write_text
+from ..store.errors import StoreCorruptionError
+
+__all__ = ["CheckpointError", "CrawlCheckpoint", "link_key"]
 
 _VERSION = 1
+
+
+class CheckpointError(StoreCorruptionError, ValueError):
+    """A checkpoint file is damaged or of an unsupported version.
+
+    Subclasses :class:`~repro.store.errors.StoreCorruptionError` (it is
+    a corrupt on-disk artifact — the same taxonomy every store boundary
+    raises) and ``ValueError`` for backward compatibility with callers
+    that guarded the old version check.
+    """
 
 
 def link_key(url: str, occurrence: int) -> str:
@@ -78,29 +97,57 @@ class CrawlCheckpoint:
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CrawlCheckpoint":
-        """Read a checkpoint from ``path``; a fresh one if it is missing."""
+        """Read a checkpoint from ``path``; a fresh one if it is missing.
+
+        Raises :class:`CheckpointError` for anything that is not a
+        complete well-formed snapshot — garbage or truncated JSON, an
+        unsupported version, malformed fields.  A damaged checkpoint
+        never half-loads into a crawl.
+        """
         path = Path(path)
         if not path.exists():
             return cls(path=path)
-        data = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"{path}: checkpoint is not valid JSON (torn write or "
+                f"corruption): {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"{path}: checkpoint is not a JSON object"
+            )
         version = data.get("version")
         if version != _VERSION:
-            raise ValueError(f"unsupported checkpoint version {version!r} in {path}")
-        return cls(
-            path=path,
-            completed=dict(data.get("completed", {})),
-            stats=data.get("stats"),
-            breakers=data.get("breakers"),
-            clock=float(data.get("clock", 0.0)),
-            budget_spent=int(data.get("budget_spent", 0)),
-            domain_clocks={
-                str(d): float(t)
-                for d, t in data.get("domain_clocks", {}).items()
-            },
-        )
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} in {path}"
+            )
+        try:
+            return cls(
+                path=path,
+                completed=dict(data.get("completed", {})),
+                stats=data.get("stats"),
+                breakers=data.get("breakers"),
+                clock=float(data.get("clock", 0.0)),
+                budget_spent=int(data.get("budget_spent", 0)),
+                domain_clocks={
+                    str(d): float(t)
+                    for d, t in data.get("domain_clocks", {}).items()
+                },
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"{path}: checkpoint fields are malformed: {exc}"
+            ) from exc
 
     def save(self, path: Optional[Union[str, Path]] = None) -> Optional[Path]:
-        """Atomically write the snapshot; no-op for in-memory checkpoints."""
+        """Atomically write the snapshot; no-op for in-memory checkpoints.
+
+        ``durable=False``: periodic mid-crawl saves happen every few
+        links, so the contract here is atomicity (either the old or the
+        new complete snapshot) rather than per-save fsync cost.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             return None
@@ -113,10 +160,9 @@ class CrawlCheckpoint:
             "budget_spent": self.budget_spent,
             "domain_clocks": self.domain_clocks,
         }
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, target)
-        return target
+        return atomic_write_text(
+            target, json.dumps(payload, sort_keys=True), durable=False
+        )
 
     # ------------------------------------------------------------------
     def base_clock(self) -> float:

@@ -56,6 +56,7 @@ from typing import (
 
 import threading
 
+from ..chaos.sites import kill_point
 from ..media.image import SyntheticImage
 from ..media.pack import Pack
 from ..media.validate import UnexpectedResourceError, rebuild_error, validate_raster
@@ -606,24 +607,35 @@ class Crawler:
         attempt_logs: List[LinkAttemptLog] = []
         since_save = 0
 
-        for outcome in self.resolve_links(
-            enumerate(links), state, completed=completed,
-            quarantine=quarantine, stage=stage, tracer=tracer,
-        ):
-            preview_images.extend(outcome.preview_images)
-            pack_images.extend(outcome.pack_images)
-            packs.extend(outcome.packs)
-            if outcome.log is not None:
-                attempt_logs.append(outcome.log)
-            if ckpt is not None and outcome.entry is not None:
-                ckpt.completed[outcome.key] = outcome.entry
-                since_save += 1
-                # Satellite: the expensive stats/breaker serialization
-                # happens only at save points, not on every link.
-                if since_save >= max(1, checkpoint_every):
-                    self.sync_checkpoint(ckpt, state)
-                    ckpt.save()
-                    since_save = 0
+        try:
+            for outcome in self.resolve_links(
+                enumerate(links), state, completed=completed,
+                quarantine=quarantine, stage=stage, tracer=tracer,
+            ):
+                preview_images.extend(outcome.preview_images)
+                pack_images.extend(outcome.pack_images)
+                packs.extend(outcome.packs)
+                if outcome.log is not None:
+                    attempt_logs.append(outcome.log)
+                if ckpt is not None and outcome.entry is not None:
+                    ckpt.completed[outcome.key] = outcome.entry
+                    since_save += 1
+                    # Satellite: the expensive stats/breaker serialization
+                    # happens only at save points, not on every link.
+                    if since_save >= max(1, checkpoint_every):
+                        self.sync_checkpoint(ckpt, state)
+                        ckpt.save()
+                        since_save = 0
+                        kill_point("crawl.checkpoint.saved")
+        except BaseException:
+            # A stop request (SignalInterrupt / KeyboardInterrupt) or
+            # stage failure mid-crawl must still leave a resumable
+            # snapshot: every settled link is synced and atomically
+            # saved before the exception unwinds (DESIGN.md §13).
+            if ckpt is not None:
+                self.sync_checkpoint(ckpt, state)
+                ckpt.save()
+            raise
 
         if ckpt is not None:
             self.sync_checkpoint(ckpt, state)

@@ -58,6 +58,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..chaos.sites import kill_point
 from ..obs.trace import NULL_TRACER
 from .checkpoint import CrawlCheckpoint
 from .crawler import (
@@ -343,6 +344,7 @@ def crawl_sharded(
                 flush_and_save()
             finally:
                 save_lock.release()
+            kill_point("crawl.checkpoint.saved")
 
     # -- lane runner ----------------------------------------------------
     parent_span = tracer.current
@@ -404,28 +406,40 @@ def crawl_sharded(
             buffer.deposit(lane.index, (lane, 0.0, exc))
 
     if lanes:
-        with ThreadPoolExecutor(
-            max_workers=min(workers, len(lanes)),
-            thread_name_prefix="crawl-lane",
-        ) as pool:
-            futures = [pool.submit(lane_task, lane) for lane in lanes]
-            try:
-                for _ in range(len(lanes)):
-                    lane, wall, error = buffer.take()
-                    if error is not None:
-                        raise error
-                    if metrics is not None:
-                        metrics.histogram("crawl.lane_seconds").observe(wall)
-                    if on_lane is not None:
-                        on_lane(lane.index, lane.domain, lane.outcomes)
-            finally:
-                # Close *before* the pool's shutdown barrier: blocked
-                # depositors wake (their late deposits are dropped) and
-                # unstarted lanes are cancelled, so an error in the
-                # consumer can never deadlock the shutdown.
-                buffer.close()
-                for future in futures:
-                    future.cancel()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(lanes)),
+                thread_name_prefix="crawl-lane",
+            ) as pool:
+                futures = [pool.submit(lane_task, lane) for lane in lanes]
+                try:
+                    for _ in range(len(lanes)):
+                        lane, wall, error = buffer.take()
+                        if error is not None:
+                            raise error
+                        if metrics is not None:
+                            metrics.histogram("crawl.lane_seconds").observe(wall)
+                        if on_lane is not None:
+                            on_lane(lane.index, lane.domain, lane.outcomes)
+                finally:
+                    # Close *before* the pool's shutdown barrier: blocked
+                    # depositors wake (their late deposits are dropped) and
+                    # unstarted lanes are cancelled, so an error in the
+                    # consumer can never deadlock the shutdown.
+                    buffer.close()
+                    for future in futures:
+                        future.cancel()
+        except BaseException:
+            # Stop requests and lane failures still leave a resumable
+            # checkpoint: all worker threads are parked by now (the
+            # pool's with-block waited), so flushing every lane's
+            # pending entries is race-free (DESIGN.md §13).
+            if ckpt is not None:
+                try:
+                    flush_and_save()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            raise
 
     if metrics is not None:
         metrics.gauge("crawl.stream_queue_depth_peak").set(buffer.peak_depth)

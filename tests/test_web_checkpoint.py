@@ -194,3 +194,75 @@ class TestCheckpointMechanics:
     def test_link_key_distinguishes_occurrences(self):
         assert link_key("https://a.com/x", 0) != link_key("https://a.com/x", 1)
         assert link_key("https://a.com/x", 0) == link_key("https://a.com/x", 0)
+
+
+class TestGracefulInterruption:
+    """SIGINT/SIGTERM mid-crawl: checkpoint, close clean, resume exact.
+
+    The chaos monkey delivers a *real* signal to our own process at the
+    ``crawl.checkpoint.saved`` kill site; :func:`graceful_signals` turns
+    it into a typed :class:`SignalInterrupt`, the crawler's
+    ``BaseException`` boundary flushes the checkpoint on the way out,
+    and the resumed crawl must be byte-identical to an uninterrupted
+    one (DESIGN.md §13).
+    """
+
+    def _interrupt_crawl(self, net, links, path, action):
+        from repro.chaos import (
+            ChaosMonkey,
+            SignalInterrupt,
+            graceful_signals,
+            install,
+            uninstall,
+        )
+
+        set_profile(net, "flaky")
+        try:
+            baseline = crawler_for(net).crawl(links)
+            install(ChaosMonkey("crawl.checkpoint.saved", action=action, hit=2))
+            with pytest.raises(SignalInterrupt) as excinfo:
+                with graceful_signals():
+                    crawler_for(net).crawl(
+                        links, checkpoint=str(path), checkpoint_every=2
+                    )
+            uninstall()
+
+            # The mid-flight state was checkpointed and is resumable.
+            assert path.exists()
+            partial = CrawlCheckpoint.load(path)
+            assert 0 < partial.n_completed < len(links)
+
+            resumed = crawler_for(net).crawl(links, checkpoint=str(path))
+            assert resumed.digest() == baseline.digest()
+            assert resumed.stats == baseline.stats
+            return excinfo.value
+        finally:
+            uninstall()
+            net.set_fault_injector(None)
+
+    def test_sigint_checkpoints_and_resumes_exactly(self, arena, tmp_path):
+        net, links = arena
+        exc = self._interrupt_crawl(net, links, tmp_path / "int.json", "sigint")
+        assert exc.exit_code == 130  # 128 + SIGINT
+
+    def test_sigterm_checkpoints_and_resumes_exactly(self, arena, tmp_path):
+        net, links = arena
+        exc = self._interrupt_crawl(net, links, tmp_path / "term.json", "sigterm")
+        assert exc.exit_code == 143  # 128 + SIGTERM
+
+    def test_graceful_signals_restores_handlers(self):
+        import signal as _signal
+
+        from repro.chaos import graceful_signals
+
+        before = _signal.getsignal(_signal.SIGINT)
+        with graceful_signals():
+            assert _signal.getsignal(_signal.SIGINT) is not before
+        assert _signal.getsignal(_signal.SIGINT) is before
+
+    def test_signal_interrupt_is_not_an_exception_subclass(self):
+        from repro.chaos import SignalInterrupt
+
+        # BaseException, so lenient stage boundaries can't absorb it —
+        # an interrupted run stops, it doesn't half-continue.
+        assert not issubclass(SignalInterrupt, Exception)
