@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 from typing import Any
 
@@ -12,6 +14,11 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Append-only cross-run log of every JSON bench result; ``repro obs
+#: ingest-bench`` folds it into a store's ``bench_results`` table so
+#: performance trends survive CI artifact expiry (DESIGN.md §14).
+TRAJECTORY_PATH = RESULTS_DIR / "TRAJECTORY.jsonl"
 
 
 def scale_note() -> str:
@@ -31,7 +38,32 @@ def write_result_text(name: str, text: str) -> Path:
 
 
 def write_result_json(name: str, payload: Any, **dumps_kwargs: Any) -> Path:
-    """Atomically write ``results/<name>.json``."""
+    """Atomically write ``results/<name>.json`` and append to the trajectory."""
     dumps_kwargs.setdefault("indent", 2)
     RESULTS_DIR.mkdir(exist_ok=True)
-    return atomic_write_json(RESULTS_DIR / f"{name}.json", payload, **dumps_kwargs)
+    path = atomic_write_json(RESULTS_DIR / f"{name}.json", payload, **dumps_kwargs)
+    append_trajectory(name, payload)
+    return path
+
+
+def append_trajectory(name: str, payload: Any, recorded_unix: float = None) -> Path:
+    """Append one ``{name, recorded_unix, payload}`` line to TRAJECTORY.jsonl.
+
+    Read-modify-rewrite through the atomic-replace path: a kill mid-append
+    leaves the previous complete trajectory, never a torn tail line.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    existing = (
+        TRAJECTORY_PATH.read_text(encoding="utf-8")
+        if TRAJECTORY_PATH.exists()
+        else ""
+    )
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    entry = {
+        "name": name,
+        "recorded_unix": time.time() if recorded_unix is None else recorded_unix,
+        "payload": payload,
+    }
+    line = json.dumps(entry, sort_keys=True, default=str)
+    return atomic_write_text(TRAJECTORY_PATH, existing + line + "\n")

@@ -23,13 +23,17 @@ from __future__ import annotations
 import time
 
 from repro import run_pipeline
-from repro.obs import RunTelemetry, Tracer
+from repro.obs import ProfilingTracer, RunTelemetry, Tracer
 
 from _common import BENCH_SCALE, BENCH_SEED, scale_note, write_result_json
 
 
 REPEATS = 3
 OVERHEAD_TARGET = 0.03
+#: Profiling *disabled* must be structurally free — the profiler lives
+#: entirely in a Tracer subclass, so an unprofiled run executes exactly
+#: the NULL_TRACER path.  Gated far tighter than tracing itself.
+PROFILE_DISABLED_TARGET = 0.01
 #: Sub-second absolute slack: scheduler noise on small CI worlds can
 #: exceed 3% of a short run without reflecting any real per-record cost.
 ABSOLUTE_FLOOR_SECONDS = 0.25
@@ -118,3 +122,106 @@ def test_o1_telemetry_overhead(bench_world, benchmark, emit):
         f"(target < {OVERHEAD_TARGET:.0%})"
     )
     assert n_spans > 0 and tele_on.tracing_enabled
+
+
+def test_o1_profiler_disabled_overhead(bench_world, benchmark, emit):
+    """Profiling OFF must cost < 1% — including after a profiler ran.
+
+    The "after" rounds run once a :class:`ProfilingTracer` (allocation
+    tracking on) has been started and stopped in this process, so the
+    gate also catches ambient leakage — a sampler thread or tracemalloc
+    left running would show up here even though the timed runs
+    themselves use the plain NULL_TRACER path.
+    """
+    run_pipeline(bench_world, telemetry=RunTelemetry())  # warm-up
+
+    # Baseline: the process has never started a profiler.
+    t_never = min(_timed_run(bench_world, None)[0] for _ in range(REPEATS))
+
+    # Exercise (and tear down) a full profiled run, allocations on —
+    # the worst case for anything it could leave behind.
+    t_prof = float("inf")
+    profiler = ProfilingTracer(allocations=True, sample_interval=0.01)
+    profiler.start()
+    try:
+        seconds, tele_prof = _timed_run(bench_world, profiler)
+        t_prof = min(t_prof, seconds)
+    finally:
+        profiler.stop()
+
+    # Disabled-after-use rounds, interleaved with fresh never-style
+    # rounds in alternating order so position bias cancels; each side
+    # takes its min.
+    t_before, t_after = t_never, float("inf")
+    tele_before = tele_after = None
+    for i in range(REPEATS * 2):
+        seconds, tele = _timed_run(bench_world, None)
+        if i % 2 == 0:
+            t_after, tele_after = min(t_after, seconds), tele
+        else:
+            t_before, tele_before = min(t_before, seconds), tele
+    overhead = t_after / t_before - 1.0
+    delta = t_after - t_before
+    benchmark.pedantic(
+        lambda: run_pipeline(bench_world, telemetry=RunTelemetry()),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Determinism across off / profiled: the profiler is a pure
+    # observer too — profile.* attrs are runtime metrics, excluded
+    # from the deterministic view.
+    view_off = tele_before.deterministic_snapshot()
+    view_prof = tele_prof.deterministic_snapshot()
+    deterministic = view_off == view_prof
+
+    payload = {
+        "config": {
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "repeats": REPEATS,
+        },
+        "pipeline_seconds": {
+            "profiling_never": round(t_never, 4),
+            "profiling_off": round(t_before, 4),
+            "profiling_disabled_after_use": round(t_after, 4),
+            "profiling_on": round(t_prof, 4),
+        },
+        "disabled_overhead": round(overhead, 4),
+        "disabled_overhead_seconds": round(delta, 4),
+        "disabled_overhead_target": PROFILE_DISABLED_TARGET,
+        "absolute_floor_seconds": ABSOLUTE_FLOOR_SECONDS,
+        "profiled_overhead": round(t_prof / t_before - 1.0, 4),
+        "profile_samples": len(tele_prof.tracer.samples()),
+        "deterministic_views_equal": deterministic,
+    }
+    write_result_json("BENCH_profiler", payload)
+
+    emit(
+        "BENCH_profiler",
+        "\n".join(
+            [
+                "O1b — profiler overhead " + scale_note(),
+                f"profiling never used : {t_never:.3f}s (best of {REPEATS})",
+                f"profiling off        : {t_before:.3f}s",
+                f"disabled (after use) : {t_after:.3f}s",
+                f"profiling on         : {t_prof:.3f}s "
+                f"({len(tele_prof.tracer.samples())} resource samples)",
+                f"disabled overhead    : {overhead:+.2%} ({delta:+.3f}s; "
+                f"target < {PROFILE_DISABLED_TARGET:.0%} or "
+                f"< {ABSOLUTE_FLOOR_SECONDS}s absolute)",
+                f"deterministic views  : "
+                f"{'identical' if deterministic else 'DIVERGED'}",
+            ]
+        ),
+    )
+
+    assert deterministic, (
+        "profiling changed the deterministic telemetry view — it must "
+        "be a pure observer"
+    )
+    assert overhead < PROFILE_DISABLED_TARGET or delta < ABSOLUTE_FLOOR_SECONDS, (
+        f"disabled profiling costs {overhead:.1%} ({delta:.3f}s) — a "
+        f"stopped profiler must leave nothing running "
+        f"(target < {PROFILE_DISABLED_TARGET:.0%})"
+    )

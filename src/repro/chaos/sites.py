@@ -57,6 +57,10 @@ KILL_SITES = (
     "store.dataset.appended",
     "store.memos.saved",
     "store.run.recorded",
+    # After the run's telemetry-history insert (span summaries, metric
+    # snapshot, funnel, profile samples) — still inside the uncommitted
+    # epoch transaction, so dying here must lose the history row too.
+    "store.history.recorded",
     # The commit edge itself: dying one instant before the COMMIT must
     # lose the whole epoch; one instant after must keep all of it.
     "store.commit.before",

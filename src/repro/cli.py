@@ -15,12 +15,19 @@ Six subcommands:
 * ``repro store``  — crash-recovery tooling for persistent run stores:
   ``verify`` (integrity probe + watermark/fingerprint report, typed
   exit codes) and ``repair`` (salvage the committed prefix of a
-  damaged store).
+  damaged store);
+* ``repro obs``    — cross-run observability over the history tables a
+  store-backed run records (DESIGN.md §14): ``runs`` (history table),
+  ``top`` (hottest spans by self-time/CPU/RSS), ``diff`` (deltas
+  between two runs), ``regressions`` (SLO gate with a typed non-zero
+  exit for CI), ``ingest-bench`` / ``ingest-trace`` (fold benchmark
+  artifacts and trace files into the history).
 
 Examples::
 
     repro run --seed 7 --scale 0.02
     repro run --trace-out trace.jsonl            # + trace.manifest.json
+    repro run --profile --store store.sqlite     # resource-profiled run, history persisted
     repro trace trace.jsonl
     repro --log-level debug --log-json run --seed 7
     repro run --fault-profile flaky --resume          # unreliable network, resumable crawl
@@ -32,6 +39,10 @@ Examples::
     repro tables --seed 11 --scale 0.05 --out results/
     repro store verify store.sqlite                   # post-crash health probe
     repro store repair store.sqlite                   # salvage committed epochs
+    repro obs runs --store store.sqlite               # wall/CPU/RSS/funnel per run
+    repro obs top --store store.sqlite --by cpu       # hottest spans of the latest run
+    repro obs diff 1 2 --store store.sqlite           # metric/funnel deltas
+    repro obs regressions --store store.sqlite --slo slo.json   # CI gate (exit 5)
 
 Progress goes through :mod:`repro.obs.log` (structured ``logging`` on
 stderr, JSON with ``--log-json``); measurement output stays on stdout.
@@ -125,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable span tracing and write the JSONL trace here, plus "
              "the run manifest next to it (<stem>.manifest.json); view "
              "the trace with 'repro trace TRACE'",
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="enable the resource profiler: per-span CPU time and peak "
+             "RSS on every span, plus a background RSS sampler; "
+             "measurement output stays bit-identical (profile data is "
+             "outside the determinism contract)",
+    )
+    p_run.add_argument(
+        "--profile-alloc", action="store_true",
+        help="like --profile, additionally tracking tracemalloc "
+             "allocation deltas per pipeline stage (slower)",
     )
     p_run.add_argument(
         "--fault-profile", choices=sorted(FAULT_PROFILES), default=None,
@@ -255,6 +278,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not keep the damaged original as <store>.corrupt",
     )
 
+    p_obs = sub.add_parser(
+        "obs",
+        help="cross-run observability: query the run history a store "
+             "accumulates, profile hot spans, gate regressions",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser, required: bool = True) -> None:
+        p.add_argument(
+            "--store", type=Path, required=required, metavar="STORE",
+            help="run store holding the history tables",
+        )
+
+    p_obs_runs = obs_sub.add_parser(
+        "runs", help="run-history table: wall/CPU time, RSS, records, funnel"
+    )
+    add_store_arg(p_obs_runs)
+    p_obs_runs.add_argument(
+        "--limit", type=_nonneg_int, default=0, metavar="N",
+        help="show only the newest N rows (default: all)",
+    )
+
+    p_obs_top = obs_sub.add_parser(
+        "top", help="hottest spans of a run by self-time / CPU / RSS"
+    )
+    add_store_arg(p_obs_top, required=False)
+    p_obs_top.add_argument(
+        "--trace", type=Path, default=None, metavar="TRACE",
+        help="summarise this trace file instead of a store history row",
+    )
+    p_obs_top.add_argument(
+        "--run", type=int, default=None, metavar="ID",
+        help="history row to summarise (default: the latest)",
+    )
+    p_obs_top.add_argument(
+        "--by", choices=("self", "total", "cpu", "rss", "alloc"),
+        default="self", help="ranking dimension (default self-time)",
+    )
+    p_obs_top.add_argument(
+        "-n", "--top", type=_nonneg_int, default=15, metavar="N",
+        help="rows to show (default 15)",
+    )
+
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="metric/funnel/resource deltas between two history rows"
+    )
+    p_obs_diff.add_argument("run_a", type=int, help="baseline history id")
+    p_obs_diff.add_argument("run_b", type=int, help="candidate history id")
+    add_store_arg(p_obs_diff)
+    p_obs_diff.add_argument(
+        "--threshold", type=float, default=0.10, metavar="F",
+        help="relative change flagged as notable (default 0.10)",
+    )
+
+    p_obs_reg = obs_sub.add_parser(
+        "regressions",
+        help="check the latest run against a baseline via a SLO spec; "
+             "exit 5 on any violation (CI gate)",
+    )
+    add_store_arg(p_obs_reg)
+    p_obs_reg.add_argument(
+        "--slo", type=Path, default=None, metavar="SPEC",
+        help="JSON SLO spec (default: built-in conservative bounds)",
+    )
+    p_obs_reg.add_argument(
+        "--baseline", type=int, default=None, metavar="ID",
+        help="baseline history id (default: the first recorded run)",
+    )
+    p_obs_reg.add_argument(
+        "--latest", type=int, default=None, metavar="ID",
+        help="candidate history id (default: the most recent run)",
+    )
+
+    p_obs_bench = obs_sub.add_parser(
+        "ingest-bench",
+        help="fold BENCH_*.json artifacts / TRAJECTORY.jsonl into the store",
+    )
+    add_store_arg(p_obs_bench)
+    p_obs_bench.add_argument(
+        "paths", type=Path, nargs="*",
+        help="result files or directories (default: benchmarks/results)",
+    )
+
+    p_obs_trace = obs_sub.add_parser(
+        "ingest-trace",
+        help="summarise a trace file into the store's history tables",
+    )
+    p_obs_trace.add_argument("path", type=Path, help="trace JSONL path")
+    add_store_arg(p_obs_trace)
+    p_obs_trace.add_argument(
+        "--label", default=None, help="history label (default: the path)"
+    )
+
     return parser
 
 
@@ -350,6 +466,58 @@ def _write_trace_artifacts(args, report, telemetry, log) -> None:
     log.info("wrote run manifest %s", manifest_path)
 
 
+def _make_run_telemetry(args) -> RunTelemetry:
+    """Telemetry for a ``run`` command: plain, traced, or profiled.
+
+    A started :class:`~repro.obs.ProfilingTracer` when ``--profile`` /
+    ``--profile-alloc`` was passed (tracing implied), a plain
+    :class:`Tracer` for ``--trace-out``, else the zero-cost default.
+    """
+    if getattr(args, "profile", False) or getattr(args, "profile_alloc", False):
+        from .obs import ProfilingTracer
+
+        tracer = ProfilingTracer(
+            allocations=bool(getattr(args, "profile_alloc", False))
+        )
+        tracer.start()
+        return RunTelemetry(tracer=tracer)
+    if getattr(args, "trace_out", None) is not None:
+        return RunTelemetry(tracer=Tracer())
+    return RunTelemetry()
+
+
+def _stop_profile(telemetry) -> None:
+    """Stop a profiling tracer's sampler/tracemalloc (no-op otherwise)."""
+    if getattr(telemetry.tracer, "profiled", False):
+        telemetry.tracer.stop()
+
+
+def _print_profile(telemetry, top_n: int = 8) -> None:
+    """Print the hot-span summary of a (stopped) profiling tracer."""
+    tracer = telemetry.tracer
+    if not getattr(tracer, "profiled", False):
+        return
+    from .obs import aggregate_spans
+    from .obs.profile import rss_peak_kb
+
+    rows = aggregate_spans([s.as_dict() for s in tracer.spans()])
+    print("-- profile --")
+    print(f"peak RSS: {rss_peak_kb() / 1024:.1f} MiB, "
+          f"{len(tracer.samples())} resource samples")
+    header = (f"{'span':<28} {'count':>7} {'self':>9} {'total':>9} "
+              f"{'cpu':>9} {'rss MiB':>8}")
+    print(header)
+    for row in rows[:top_n]:
+        cpu = row.get("cpu_seconds")
+        rss = row.get("rss_peak_kb")
+        print(
+            f"{row['name'][:28]:<28} {row['count']:>7} "
+            f"{row['self_seconds']:>8.2f}s {row['total_seconds']:>8.2f}s "
+            f"{(f'{cpu:8.2f}s' if cpu is not None else '       -')} "
+            f"{(f'{rss / 1024:8.1f}' if rss is not None else '       -')}"
+        )
+
+
 def _run_drift_command(args, log) -> int:
     """The ``repro drift`` decay experiment (defenses off vs on)."""
     import json
@@ -418,9 +586,7 @@ def _run_store_command(args, log) -> int:
         drift_epoch=args.drift_epoch if args.drift_profile else 0,
         epoch_total=args.epoch_total,
     )
-    telemetry = RunTelemetry(
-        tracer=Tracer() if args.trace_out is not None else None
-    )
+    telemetry = _make_run_telemetry(args)
     log.info(
         "store run: %s epoch=%s/%d",
         args.store, args.epoch if args.epoch is not None else "full",
@@ -440,12 +606,14 @@ def _run_store_command(args, log) -> int:
     except StoreError as exc:
         log.error("store run refused: %s", exc)
         return 2
+    finally:
+        _stop_profile(telemetry)
     report = result.report
     log.info(
-        "store run done [%.1fs]: epoch %d/%d, run #%d, %d dataset rows "
-        "appended, store %.1f MiB",
+        "store run done [%.1fs]: epoch %d/%d, run #%d (history #%s), "
+        "%d dataset rows appended, store %.1f MiB",
         time.perf_counter() - start, result.epoch, result.epoch_total,
-        result.run_id, result.rows_added,
+        result.run_id, result.history_id, result.rows_added,
         result.store_size_bytes / (1024 * 1024),
     )
     for line in telemetry.summary_lines():
@@ -457,6 +625,7 @@ def _run_store_command(args, log) -> int:
     print(_resilience_summary(report))
     print("-- telemetry --")
     print(render_telemetry(report))
+    _print_profile(telemetry)
     if args.trace_out is not None:
         _write_trace_artifacts(args, report, telemetry, log)
     if args.out is not None and not report.degraded:
@@ -503,6 +672,238 @@ def _run_store_tool(args, log) -> int:
         return EXIT_CORRUPT
 
 
+def _fmt_opt(value, fmt: str, missing: str = "-") -> str:
+    return missing if value is None else format(value, fmt)
+
+
+def _print_span_table(rows, by: str, top_n: int) -> None:
+    """The ``repro obs top`` table over aggregate span rows."""
+    sort_keys = {
+        "self": lambda r: r["self_seconds"],
+        "total": lambda r: r["total_seconds"],
+        "cpu": lambda r: r.get("cpu_seconds") or 0.0,
+        "rss": lambda r: r.get("rss_peak_kb") or 0,
+        "alloc": lambda r: r.get("alloc_kb") or 0.0,
+    }
+    rows = sorted(rows, key=sort_keys[by], reverse=True)
+    if top_n:
+        rows = rows[:top_n]
+    print(f"{'span':<32} {'count':>7} {'self':>9} {'total':>9} "
+          f"{'max':>9} {'cpu':>9} {'rss MiB':>8} {'alloc kB':>9} {'err':>4}")
+    for row in rows:
+        rss = row.get("rss_peak_kb")
+        print(
+            f"{row['name'][:32]:<32} {row['count']:>7} "
+            f"{row['self_seconds']:>8.3f}s {row['total_seconds']:>8.3f}s "
+            f"{row['max_seconds']:>8.3f}s "
+            f"{_fmt_opt(row.get('cpu_seconds'), '8.3f', '       -')}"
+            f"{'s' if row.get('cpu_seconds') is not None else ' '} "
+            f"{_fmt_opt(None if rss is None else rss / 1024, '8.1f', '       -')} "
+            f"{_fmt_opt(row.get('alloc_kb'), '9.1f', '        -')} "
+            f"{row['errors']:>4}"
+        )
+
+
+def _obs_ingest_bench(store, paths, log) -> int:
+    """Fold BENCH_*.json files and TRAJECTORY.jsonl lines into the store."""
+    import json
+
+    if not paths:
+        paths = [Path(__file__).resolve().parents[2] / "benchmarks" / "results"]
+    files = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+            trajectory = path / "TRAJECTORY.jsonl"
+            if trajectory.exists():
+                files.append(trajectory)
+        else:
+            files.append(path)
+    ingested = skipped = 0
+    with store.transaction():
+        for path in files:
+            if not path.exists():
+                log.warning("ingest-bench: %s does not exist, skipping", path)
+                continue
+            try:
+                if path.suffix == ".jsonl":
+                    for line in path.read_text(encoding="utf-8").splitlines():
+                        line = line.strip()
+                        if not line:
+                            continue
+                        entry = json.loads(line)
+                        added = store.ingest_bench(
+                            str(entry.get("name", path.stem)),
+                            entry.get("payload"),
+                            float(entry.get("recorded_unix", 0.0)),
+                        )
+                        ingested += int(added)
+                        skipped += int(not added)
+                else:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    added = store.ingest_bench(
+                        path.stem, payload, path.stat().st_mtime
+                    )
+                    ingested += int(added)
+                    skipped += int(not added)
+            except (json.JSONDecodeError, OSError, ValueError) as exc:
+                log.error("ingest-bench: %s unreadable: %s", path, exc)
+                return 2
+    print(f"ingested {ingested} bench results "
+          f"({skipped} already present) from {len(files)} files")
+    return 0
+
+
+def _run_obs_command(args, log) -> int:
+    """``repro obs runs|top|diff|regressions|ingest-bench|ingest-trace``.
+
+    Exit codes: 0 ok; 2 usage/value error; 3 corrupt store; 4 config
+    mismatch; :data:`~repro.obs.regress.EXIT_REGRESSION` (5) when the
+    SLO gate trips — distinct so CI can tell "regressed" from "broken".
+    """
+    from .obs.history import record_history, summarize_trace
+    from .obs.regress import (
+        EXIT_REGRESSION,
+        check_regressions,
+        diff_histories,
+        load_slo,
+    )
+    from .store import (
+        EXIT_CONFIG,
+        EXIT_CORRUPT,
+        RunStore,
+        StoreConfigError,
+        StoreCorruptionError,
+    )
+
+    cmd = args.obs_command
+
+    # `obs top --trace` works without any store at all.
+    if cmd == "top" and args.trace is not None:
+        try:
+            summary = summarize_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            log.error("obs top: cannot read trace %s: %s", args.trace, exc)
+            return 2
+        print(f"trace {args.trace}: {summary.n_spans} spans, "
+              f"{'profiled' if summary.profiled else 'unprofiled'}")
+        _print_span_table(summary.spans, args.by, args.top)
+        return 0
+    if cmd == "top" and args.store is None:
+        log.error("obs top needs --store or --trace")
+        return 2
+
+    try:
+        store = RunStore(args.store)
+    except StoreCorruptionError as exc:
+        log.error("obs %s: %s", cmd, exc)
+        return EXIT_CORRUPT
+
+    with store:
+        try:
+            if cmd == "runs":
+                runs = store.history_runs()
+                if args.limit:
+                    runs = runs[-args.limit:]
+                if not runs:
+                    print("no run history recorded "
+                          "(run with --store, or obs ingest-trace)")
+                    return 0
+                print(f"{'id':>4} {'run':>4} {'epoch':>5} {'wall':>8} "
+                      f"{'cpu':>8} {'rss MiB':>8} {'spans':>6} "
+                      f"{'records':>8} {'quar':>5} {'prof':>4}  label")
+                for run in runs:
+                    rss = run.get("peak_rss_kb")
+                    print(
+                        f"{run['history_id']:>4} "
+                        f"{_fmt_opt(run.get('run_id'), '>4'):>4} "
+                        f"{_fmt_opt(run.get('epoch'), '>5'):>5} "
+                        f"{_fmt_opt(run.get('wall_seconds'), '7.2f', '      -')}"
+                        f"{'s' if run.get('wall_seconds') is not None else ' '} "
+                        f"{_fmt_opt(run.get('cpu_seconds'), '7.2f', '      -')}"
+                        f"{'s' if run.get('cpu_seconds') is not None else ' '} "
+                        f"{_fmt_opt(None if rss is None else rss / 1024, '8.1f', '       -')} "
+                        f"{run['n_spans']:>6} "
+                        f"{_fmt_opt(run.get('n_records'), '>8'):>8} "
+                        f"{_fmt_opt(run.get('n_quarantined'), '>5'):>5} "
+                        f"{'yes' if run.get('profiled') else '-':>4}  "
+                        f"{run.get('label') or run.get('source')}"
+                    )
+                return 0
+
+            if cmd == "top":
+                runs = store.history_runs()
+                if not runs:
+                    log.error("obs top: store has no run history")
+                    return 2
+                history_id = args.run if args.run is not None else (
+                    runs[-1]["history_id"]
+                )
+                if history_id not in {r["history_id"] for r in runs}:
+                    log.error("obs top: history #%d not found", history_id)
+                    return 2
+                rows = store.history_spans(history_id)
+                print(f"history #{history_id}: {len(rows)} span names")
+                _print_span_table(rows, args.by, args.top)
+                return 0
+
+            if cmd == "diff":
+                rows = diff_histories(
+                    store, args.run_a, args.run_b, threshold=args.threshold
+                )
+                flagged = [r for r in rows if r["flagged"]]
+                print(f"history #{args.run_a} -> #{args.run_b}: "
+                      f"{len(flagged)} of {len(rows)} quantities changed "
+                      f"beyond ±{args.threshold:.0%}")
+                print(f"{'':>2} {'kind':<9} {'name':<36} {'a':>12} "
+                      f"{'b':>12} {'ratio':>7}")
+                for row in rows:
+                    if not row["flagged"] and flagged:
+                        continue  # flagged-only view when anything changed
+                    mark = "!" if row["flagged"] else " "
+                    ratio = row.get("ratio")
+                    print(
+                        f"{mark:>2} {row['kind']:<9} {row['name'][:36]:<36} "
+                        f"{_fmt_opt(row.get('a'), '>12.6g'):>12} "
+                        f"{_fmt_opt(row.get('b'), '>12.6g'):>12} "
+                        f"{_fmt_opt(ratio, '7.3f'):>7}"
+                    )
+                return 0
+
+            if cmd == "regressions":
+                slo = load_slo(args.slo) if args.slo is not None else None
+                report = check_regressions(
+                    store, slo,
+                    baseline_id=args.baseline, latest_id=args.latest,
+                )
+                print("\n".join(report.summary_lines()))
+                if report.ok:
+                    print("no regressions")
+                    return 0
+                print(f"{len(report.violations)} regression(s) detected")
+                return EXIT_REGRESSION
+
+            if cmd == "ingest-bench":
+                return _obs_ingest_bench(store, list(args.paths), log)
+
+            # ingest-trace
+            summary = summarize_trace(args.path, label=args.label)
+            history_id = record_history(store, summary)
+            print(f"ingested {args.path} as history #{history_id} "
+                  f"({summary.n_spans} spans, "
+                  f"{'profiled' if summary.profiled else 'unprofiled'})")
+            return 0
+        except ValueError as exc:
+            log.error("obs %s: %s", cmd, exc)
+            return 2
+        except StoreConfigError as exc:
+            log.error("obs %s: %s", cmd, exc)
+            return EXIT_CONFIG
+        except StoreCorruptionError as exc:
+            log.error("obs %s: %s", cmd, exc)
+            return EXIT_CORRUPT
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
@@ -529,9 +930,14 @@ def _dispatch(args, log) -> int:
         return _run_store_tool(args, log)
 
     if args.command == "trace":
-        meta, spans = read_trace(args.path)
+        # Tolerant read: renders empty/truncated traces and traces with
+        # unknown record types (e.g. from newer writers) best-effort.
+        meta, spans = read_trace(args.path, strict=False)
         print(render_trace(meta, spans, max_depth=args.max_depth))
         return 0
+
+    if args.command == "obs":
+        return _run_obs_command(args, log)
 
     if args.command == "drift":
         return _run_drift_command(args, log)
@@ -574,17 +980,20 @@ def _dispatch(args, log) -> int:
         return 0
 
     trace_out = getattr(args, "trace_out", None)
-    telemetry = RunTelemetry(tracer=Tracer() if trace_out is not None else None)
+    telemetry = _make_run_telemetry(args)
     log.info("running pipeline", extra={"tracing": telemetry.tracing_enabled})
     start = time.perf_counter()
-    report = run_pipeline(
-        world,
-        annotate_n=args.annotate,
-        strict=not getattr(args, "lenient", False),
-        checkpoint=getattr(args, "resume", None),
-        telemetry=telemetry,
-        workers=getattr(args, "workers", None),
-    )
+    try:
+        report = run_pipeline(
+            world,
+            annotate_n=args.annotate,
+            strict=not getattr(args, "lenient", False),
+            checkpoint=getattr(args, "resume", None),
+            telemetry=telemetry,
+            workers=getattr(args, "workers", None),
+        )
+    finally:
+        _stop_profile(telemetry)
     log.info("pipeline done [%.1fs]", time.perf_counter() - start)
     for line in telemetry.summary_lines():
         log.info("%s", line)
@@ -597,6 +1006,7 @@ def _dispatch(args, log) -> int:
         print(_resilience_summary(report))
         print("-- telemetry --")
         print(render_telemetry(report))
+        _print_profile(telemetry)
         if trace_out is not None:
             _write_trace_artifacts(args, report, telemetry, log)
         if args.out is not None and not report.degraded:

@@ -33,6 +33,7 @@ from .metrics import (
     is_runtime_metric,
     is_timing_metric,
 )
+from .profile import ProfilingTracer, aggregate_spans, rss_peak_kb
 from .trace import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -40,19 +41,37 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "Gauge",
     "Histogram",
+    "HistorySummary",
     "JsonLogFormatter",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProfilingTracer",
     "RunTelemetry",
     "Span",
     "SpanEvent",
     "Tracer",
+    "aggregate_spans",
     "get_logger",
     "is_runtime_metric",
     "is_timing_metric",
+    "record_history",
+    "rss_peak_kb",
     "setup_logging",
+    "summarize_run",
+    "summarize_trace",
 ]
+
+
+def __getattr__(name: str):
+    # history pulls in nothing heavy, but keeping it lazy avoids an
+    # import cycle once store-side callers import repro.obs first.
+    if name in ("HistorySummary", "record_history", "summarize_run",
+                "summarize_trace"):
+        from . import history
+
+        return getattr(history, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RunTelemetry:

@@ -29,7 +29,17 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..atomicio import atomic_write_text
 from .metrics import is_runtime_metric
@@ -39,6 +49,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "build_manifest",
     "deterministic_manifest_view",
+    "iter_trace",
     "manifest_path_for",
     "read_trace",
     "render_funnel",
@@ -106,26 +117,66 @@ def write_trace(
     return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
-def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Read a trace file back as ``(meta, span_records)``."""
-    meta: Dict[str, Any] = {}
-    spans: List[Dict[str, Any]] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
+def iter_trace(
+    path: Union[str, Path], strict: bool = True
+) -> Iterator[Dict[str, Any]]:
+    """Stream a trace file's records one line at a time.
+
+    Yields every parsed record (the ``meta`` header included) without
+    materialising the file — the history ingester and ``repro trace``
+    summarise million-span traces through this in O(1) memory per line.
+
+    ``strict=True`` (the default, matching :func:`read_trace`) raises
+    ``ValueError`` on a record type it does not know; ``strict=False``
+    skips unknown types instead — forward compatibility with traces
+    written by a newer repro (new record kinds must not brick old
+    readers).  Malformed JSON raises either way: that is corruption,
+    not version skew.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
         for i, line in enumerate(fh):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{i + 1}: not JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{i + 1}: trace record is not an object"
+                    )
+                continue
             kind = record.get("type")
-            if kind == "meta":
-                meta = record
-            elif kind == "span":
-                spans.append(record)
-            else:
-                raise ValueError(
-                    f"{path}:{i + 1}: unknown trace record type {kind!r}"
-                )
-    if not meta:
+            if kind not in ("meta", "span"):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{i + 1}: unknown trace record type {kind!r}"
+                    )
+                continue
+            yield record
+
+
+def read_trace(
+    path: Union[str, Path], strict: bool = True
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a trace file back as ``(meta, span_records)``.
+
+    Built on :func:`iter_trace` (property-tested equal to the streamed
+    view).  ``strict=False`` additionally tolerates a missing ``meta``
+    header — an empty or header-less file reads as ``({}, [])`` so the
+    renderers can still say "0 spans" instead of refusing.
+    """
+    meta: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    for record in iter_trace(path, strict=strict):
+        if record.get("type") == "meta":
+            meta = record
+        else:
+            spans.append(record)
+    if not meta and strict:
         raise ValueError(f"{path}: missing trace meta header line")
     return meta, spans
 
@@ -250,19 +301,27 @@ def deterministic_manifest_view(manifest: Mapping[str, Any]) -> Dict[str, Any]:
 # Renderers (the ``repro trace`` subcommand)
 # ----------------------------------------------------------------------
 def render_funnel(funnel: Sequence[Mapping[str, Any]]) -> str:
-    """The Figure-1 attrition table: one row per funnel stage."""
+    """The Figure-1 attrition table: one row per funnel stage.
+
+    Tolerant of sparse rows (missing ``stage``/``count``, non-numeric
+    counts) — a funnel from a foreign or future trace renders with
+    ``-`` placeholders instead of raising.
+    """
     if not funnel:
         return "no funnel recorded"
-    width = max(len(str(row["stage"])) for row in funnel)
+    stages = [str(row.get("stage", "?")) for row in funnel]
+    width = max(5, max(len(stage) for stage in stages))
     lines = [f"{'stage':<{width}}  {'count':>10}"]
-    previous: Optional[int] = None
-    for row in funnel:
+    previous: Optional[float] = None
+    for stage, row in zip(stages, funnel):
         count = row.get("count")
-        rendered = "-" if count is None else f"{count:,}"
+        if not isinstance(count, (int, float)) or isinstance(count, bool):
+            count = None
+        rendered = "-" if count is None else f"{int(count):,}"
         note = ""
         if count is not None and previous not in (None, 0):
             note = f"  ({count / previous:6.1%} of previous)"
-        lines.append(f"{row['stage']:<{width}}  {rendered:>10}{note}")
+        lines.append(f"{stage:<{width}}  {rendered:>10}{note}")
         if count is not None:
             previous = count
     return "\n".join(lines)
@@ -286,20 +345,46 @@ def render_trace(
     a single line with count / total / mean / max, so the summary stays
     one screen regardless of corpus size.  Siblings render in
     total-duration order.
+
+    Tolerant of whatever a trace file can legally contain: zero spans,
+    missing ids or names (``?`` placeholders), dangling parent
+    references (rendered as roots), parent cycles (broken at the
+    revisit) and span names this repro has never heard of — a future
+    writer's ``profile.*`` spans render like any other name.
     """
     # path (tuple of names root→leaf) → aggregate
-    by_id: Dict[Any, Mapping[str, Any]] = {s["id"]: s for s in spans}
+    by_id: Dict[Any, Mapping[str, Any]] = {
+        s["id"]: s for s in spans if s.get("id") is not None
+    }
     paths: Dict[Tuple[str, ...], Dict[str, float]] = {}
     path_cache: Dict[Any, Tuple[str, ...]] = {}
 
     def path_of(span: Mapping[str, Any]) -> Tuple[str, ...]:
-        cached = path_cache.get(span["id"])
-        if cached is not None:
-            return cached
-        parent = by_id.get(span.get("parent"))
-        path = (path_of(parent) if parent is not None else ()) + (span["name"],)
-        path_cache[span["id"]] = path
-        return path
+        # Iterative ancestry walk with a visited set: a malformed trace
+        # with a parent cycle terminates (the cycle is broken at the
+        # revisit) instead of recursing forever.
+        chain: List[Mapping[str, Any]] = []
+        visited: set = set()
+        node: Optional[Mapping[str, Any]] = span
+        prefix: Tuple[str, ...] = ()
+        while node is not None:
+            node_id = node.get("id")
+            if node_id is not None:
+                cached = path_cache.get(node_id)
+                if cached is not None:
+                    prefix = cached
+                    break
+                if node_id in visited:
+                    break
+                visited.add(node_id)
+            chain.append(node)
+            node = by_id.get(node.get("parent"))
+        for ancestor in reversed(chain):
+            prefix = prefix + (str(ancestor.get("name", "?")),)
+            ancestor_id = ancestor.get("id")
+            if ancestor_id is not None:
+                path_cache[ancestor_id] = prefix
+        return prefix
 
     n_events = 0
     n_errors = 0

@@ -59,6 +59,12 @@ def is_timing_metric(name: str) -> bool:
 #: time or thread scheduling — rather than on the world seed.
 _RUNTIME_SUFFIXES = ("_queue_depth_peak", ".queue_depth_peak", "_inflight")
 
+#: Name prefixes reserved for runtime-only metrics.  ``profile.`` is the
+#: resource-profiler namespace (:mod:`repro.obs.profile`): CPU seconds,
+#: RSS, allocation deltas — environment measurements by definition, so
+#: the whole prefix is excluded from deterministic views wholesale.
+_RUNTIME_PREFIXES = ("profile.",)
+
 
 def is_runtime_metric(name: str) -> bool:
     """True for metrics excluded from deterministic views.
@@ -66,9 +72,14 @@ def is_runtime_metric(name: str) -> bool:
     Covers :func:`is_timing_metric` (``*_seconds``) plus
     scheduling-dependent gauges — streaming queue depths, in-flight
     counts — whose values vary with worker count and thread
-    interleaving even on a fixed seed.
+    interleaving even on a fixed seed, plus the reserved ``profile.``
+    namespace of the resource profiler.
     """
-    return is_timing_metric(name) or name.endswith(_RUNTIME_SUFFIXES)
+    return (
+        is_timing_metric(name)
+        or name.endswith(_RUNTIME_SUFFIXES)
+        or name.startswith(_RUNTIME_PREFIXES)
+    )
 
 
 def _labels_key(labels: Mapping[str, Any]) -> LabelsKey:

@@ -1,0 +1,309 @@
+"""Opt-in resource profiling attached to the span tracer (DESIGN.md §14).
+
+:class:`ProfilingTracer` subclasses the recording
+:class:`~repro.obs.trace.Tracer` and annotates every span, at close,
+with resource attributes under the reserved ``profile.`` namespace:
+
+* ``profile.cpu_seconds``   — thread CPU time consumed inside the span
+  (``time.thread_time`` delta; spans open and close on one thread);
+* ``profile.rss_peak_kb``   — the process peak RSS observed at close
+  (``resource.getrusage`` / ``/proc/self/status`` — stdlib only);
+* ``profile.rss_growth_kb`` — peak-RSS growth across the span (first
+  big allocation shows up on the stage that caused it);
+* ``profile.alloc_kb``      — net ``tracemalloc`` allocation delta, only
+  when allocation tracking is requested and only on coarse stage-level
+  spans (``pipeline.*`` / ``stage.*`` / ``store.*``) — per-fetch
+  tracemalloc reads would dominate the thing being measured.
+
+A background :class:`_ResourceSampler` thread (``start()``/``stop()``)
+additionally records periodic ``(t, rss_kb, cpu_seconds)`` samples —
+persisted into the run-history tables (:mod:`repro.obs.history`) and
+surfaced as root ``profile.sample`` spans in the trace.
+
+Zero-cost-when-disabled is structural, not a fast path: profiling lives
+entirely in this subclass, so a run without a :class:`ProfilingTracer`
+executes not one added instruction (the NULL_TRACER discipline of
+DESIGN.md §9; gated by ``benchmarks/bench_o1_telemetry.py``).
+Determinism: every attribute is namespaced ``profile.`` and every
+``profile.*`` *metric* name is a runtime metric
+(:func:`~repro.obs.metrics.is_runtime_metric`), so deterministic
+snapshots, ``measurement_view()`` and run digests are bit-identical
+with profiling on, off or mixed — property-tested in
+``tests/test_obs_profile.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .trace import Span, Tracer, _SpanContext
+
+__all__ = [
+    "ALLOC_SPAN_PREFIXES",
+    "PROFILE_ATTR_PREFIX",
+    "ProfilingTracer",
+    "aggregate_spans",
+    "rss_current_kb",
+    "rss_peak_kb",
+]
+
+#: Every profiler-written span attribute lives under this namespace, so
+#: consumers (and the determinism contract) can strip them wholesale.
+PROFILE_ATTR_PREFIX = "profile."
+
+#: Span-name prefixes that get tracemalloc allocation deltas when
+#: allocation tracking is on: coarse stage-level units only — reading
+#: ``tracemalloc.get_traced_memory()`` around each of thousands of
+#: per-link fetch spans would perturb the timings it sits next to.
+ALLOC_SPAN_PREFIXES = ("pipeline.", "stage.", "store.")
+
+
+# ----------------------------------------------------------------------
+# RSS readers (stdlib only: resource.getrusage, /proc fallback)
+# ----------------------------------------------------------------------
+def _proc_status_kb(field: str) -> Optional[int]:
+    """Read a ``kB`` field (``VmHWM``/``VmRSS``) from /proc/self/status."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(field):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def rss_peak_kb() -> int:
+    """Process peak RSS in KiB (0 when unknowable on this platform).
+
+    ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` is KiB on Linux and
+    bytes on macOS; ``/proc/self/status`` ``VmHWM`` is the fallback.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            peak //= 1024
+        if peak > 0:
+            return int(peak)
+    except (ImportError, ValueError, OSError):
+        pass
+    return _proc_status_kb("VmHWM:") or 0
+
+
+def rss_current_kb() -> int:
+    """Current resident set size in KiB (falls back to the peak)."""
+    current = _proc_status_kb("VmRSS:")
+    if current is not None:
+        return current
+    return rss_peak_kb()
+
+
+# ----------------------------------------------------------------------
+# The profiling tracer
+# ----------------------------------------------------------------------
+class _ResourceSampler(threading.Thread):
+    """Daemon thread appending periodic resource samples to the tracer."""
+
+    def __init__(self, tracer: "ProfilingTracer", interval: float):
+        super().__init__(name="repro-profile-sampler", daemon=True)
+        self._tracer = tracer
+        self._interval = interval
+        self._stop_event = threading.Event()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+
+    def run(self) -> None:  # pragma: no cover - timing-dependent thread body
+        while not self._stop_event.wait(self._interval):
+            self._tracer._record_sample()
+
+
+class ProfilingTracer(Tracer):
+    """A recording tracer that also profiles CPU, RSS and allocations.
+
+    Drop-in for :class:`Tracer` wherever one is accepted (``repro run
+    --profile``); call :meth:`start`/:meth:`stop` around the run to arm
+    allocation tracking and the background resource sampler.  Safe to
+    use without ``start()`` — per-span CPU/RSS attributes are always on.
+    """
+
+    profiled = True
+
+    def __init__(
+        self,
+        allocations: bool = False,
+        sample_interval: float = 0.05,
+    ) -> None:
+        super().__init__()
+        self.allocations = bool(allocations)
+        self.sample_interval = float(sample_interval)
+        #: span_id -> (cpu_start, rss_peak_at_open, alloc_start or None).
+        #: Distinct keys per span; GIL-atomic dict ops need no lock.
+        self._open_profiles: Dict[int, Tuple[float, int, Optional[int]]] = {}
+        self._samples: List[Dict[str, float]] = []
+        self._sampler: Optional[_ResourceSampler] = None
+        self._owns_tracemalloc = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ProfilingTracer":
+        """Arm allocation tracking and the background resource sampler."""
+        if self.allocations:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_tracemalloc = True
+        if self.sample_interval > 0 and self._sampler is None:
+            self._sampler = _ResourceSampler(self, self.sample_interval)
+            self._sampler.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampler and release tracemalloc (idempotent)."""
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        if self._owns_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    # -- per-span hooks -------------------------------------------------
+    def _alloc_snapshot(self, name: str) -> Optional[int]:
+        if not self.allocations or not name.startswith(ALLOC_SPAN_PREFIXES):
+            return None
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            return None
+        return tracemalloc.get_traced_memory()[0]
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        ctx = super().span(name, **attributes)
+        self._open_profiles[ctx._span.span_id] = (
+            time.thread_time(),
+            rss_peak_kb(),
+            self._alloc_snapshot(name),
+        )
+        return ctx
+
+    def _close(self, span: Span) -> None:
+        entry = self._open_profiles.pop(span.span_id, None)
+        if entry is not None:
+            cpu_start, rss_open, alloc_start = entry
+            attrs = span.attributes
+            attrs["profile.cpu_seconds"] = max(
+                0.0, time.thread_time() - cpu_start
+            )
+            peak = rss_peak_kb()
+            attrs["profile.rss_peak_kb"] = peak
+            attrs["profile.rss_growth_kb"] = max(0, peak - rss_open)
+            if alloc_start is not None:
+                import tracemalloc
+
+                if tracemalloc.is_tracing():
+                    attrs["profile.alloc_kb"] = (
+                        tracemalloc.get_traced_memory()[0] - alloc_start
+                    ) / 1024.0
+        super()._close(span)
+
+    # -- samples --------------------------------------------------------
+    def _record_sample(self) -> None:
+        sample = {
+            "t": self._now(),
+            "rss_kb": float(rss_current_kb()),
+            "cpu_seconds": time.process_time(),
+        }
+        self._samples.append(sample)
+        # Mirror the sample into the trace itself: a zero-length root
+        # span (the sampler thread has an empty ancestry stack), so a
+        # plain trace file carries the RSS timeline too.
+        with self.span("profile.sample", **{
+            "profile.sample_rss_kb": sample["rss_kb"],
+            "profile.sample_cpu_seconds": sample["cpu_seconds"],
+        }):
+            pass
+
+    def samples(self) -> List[Dict[str, float]]:
+        """Recorded ``(t, rss_kb, cpu_seconds)`` samples, in order."""
+        return list(self._samples)
+
+
+# ----------------------------------------------------------------------
+# Aggregation (shared by `repro obs top` and the history writer)
+# ----------------------------------------------------------------------
+def aggregate_spans(
+    records: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-name span summaries of dict-shaped span records.
+
+    Returns one row per span name, sorted by descending self-time:
+    ``count``, ``total_seconds``, ``self_seconds`` (duration minus the
+    duration of *direct* children — the quantity ``repro obs top``
+    ranks by), ``max_seconds``, ``errors``, plus the profile
+    aggregates (``cpu_seconds`` summed, ``rss_peak_kb`` maxed,
+    ``alloc_kb`` summed) when the trace was profiled, else ``None``.
+    """
+    durations: Dict[Any, float] = {}
+    names: Dict[Any, str] = {}
+    child_totals: Dict[Any, float] = {}
+    for rec in records:
+        span_id = rec.get("id")
+        duration = float(rec.get("duration") or 0.0)
+        if span_id is not None:
+            durations[span_id] = duration
+            names[span_id] = str(rec.get("name", "?"))
+    for rec in records:
+        parent = rec.get("parent")
+        if parent is not None and parent in durations:
+            child_totals[parent] = child_totals.get(parent, 0.0) + float(
+                rec.get("duration") or 0.0
+            )
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    for rec in records:
+        name = str(rec.get("name", "?"))
+        span_id = rec.get("id")
+        duration = float(rec.get("duration") or 0.0)
+        self_seconds = max(0.0, duration - child_totals.get(span_id, 0.0))
+        row = rows.setdefault(
+            name,
+            {
+                "name": name,
+                "count": 0,
+                "total_seconds": 0.0,
+                "self_seconds": 0.0,
+                "max_seconds": 0.0,
+                "errors": 0,
+                "cpu_seconds": None,
+                "rss_peak_kb": None,
+                "alloc_kb": None,
+            },
+        )
+        row["count"] += 1
+        row["total_seconds"] += duration
+        row["self_seconds"] += self_seconds
+        row["max_seconds"] = max(row["max_seconds"], duration)
+        if rec.get("status") == "error":
+            row["errors"] += 1
+        attrs = rec.get("attrs") or {}
+        cpu = attrs.get("profile.cpu_seconds")
+        if cpu is not None:
+            row["cpu_seconds"] = (row["cpu_seconds"] or 0.0) + float(cpu)
+        rss = attrs.get("profile.rss_peak_kb")
+        if rss is not None:
+            row["rss_peak_kb"] = max(row["rss_peak_kb"] or 0, int(rss))
+        alloc = attrs.get("profile.alloc_kb")
+        if alloc is not None:
+            row["alloc_kb"] = (row["alloc_kb"] or 0.0) + float(alloc)
+    return sorted(
+        rows.values(),
+        key=lambda r: (-r["self_seconds"], -r["total_seconds"], r["name"]),
+    )

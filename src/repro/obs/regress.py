@@ -1,0 +1,371 @@
+"""Declarative SLO checks over the persisted run history (``repro obs``).
+
+A *SLO spec* is a small JSON object (the repo commits one as
+``slo.json``) bounding how much a run may regress against a stored
+baseline, plus absolute floors on the quantities the paper's
+measurement actually cares about:
+
+``wall_seconds_max_ratio``
+    latest wall time ≤ ratio × baseline wall time;
+``cpu_seconds_max_ratio``
+    latest CPU time ≤ ratio × baseline CPU time (profiled runs only);
+``peak_rss_kb_max_ratio``
+    latest peak RSS ≤ ratio × baseline peak RSS;
+``funnel_min_ratio``
+    every funnel stage count ≥ ratio × the baseline stage count —
+    the recall guard: an instrument that silently finds fewer images
+    or packs than it used to is regressing even if it got faster;
+``funnel_floors``
+    absolute per-stage minimum counts on the latest run;
+``metric_floors``
+    absolute minimum values for named gauge metrics of the latest run.
+
+:func:`check_regressions` compares the latest history row against the
+baseline (the *first* history row by default — the run that established
+expectations — or ``--baseline N``) and returns a typed report; the CLI
+maps violations to the distinct exit code :data:`EXIT_REGRESSION` so a
+CI leg can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "DEFAULT_SLO",
+    "EXIT_REGRESSION",
+    "RegressionReport",
+    "Violation",
+    "check_regressions",
+    "diff_histories",
+    "load_slo",
+]
+
+#: ``repro obs regressions`` exit code when any SLO check fails —
+#: distinct from usage errors (2) and store corruption (3).
+EXIT_REGRESSION = 5
+
+#: Conservative defaults when no spec file is given: runs may slow down
+#: 3× / grow 2× in RSS before the gate trips, and must keep ≥ 90 % of
+#: every baseline funnel count.
+DEFAULT_SLO: Dict[str, Any] = {
+    "wall_seconds_max_ratio": 3.0,
+    "peak_rss_kb_max_ratio": 2.0,
+    "funnel_min_ratio": 0.9,
+}
+
+_RATIO_KEYS = (
+    "wall_seconds_max_ratio",
+    "cpu_seconds_max_ratio",
+    "peak_rss_kb_max_ratio",
+    "funnel_min_ratio",
+)
+_MAPPING_KEYS = ("funnel_floors", "metric_floors")
+#: Free-text keys tolerated (and ignored) in a spec file.
+_DOC_KEYS = ("description", "kind")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed SLO check."""
+
+    check: str
+    message: str
+
+
+@dataclass
+class RegressionReport:
+    """What ``repro obs regressions`` found."""
+
+    baseline: Dict[str, Any]
+    latest: Dict[str, Any]
+    violations: List[Violation] = field(default_factory=list)
+    #: Human-readable descriptions of every check that *ran* (passed or
+    #: not) — so a green gate shows what it actually guarded.
+    checks: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"baseline: history #{self.baseline.get('history_id')} "
+            f"({self.baseline.get('label') or self.baseline.get('source')})",
+            f"latest:   history #{self.latest.get('history_id')} "
+            f"({self.latest.get('label') or self.latest.get('source')})",
+            f"checks:   {len(self.checks)} run, "
+            f"{len(self.violations)} violated",
+        ]
+        violated = {violation.check for violation in self.violations}
+        for check in self.checks:
+            name = check.split(":", 1)[0]
+            lines.append(f"  {'!!' if name in violated else 'ok'}  {check}")
+        for violation in self.violations:
+            lines.append(f"  REGRESSION [{violation.check}] {violation.message}")
+        return lines
+
+
+def load_slo(source: Union[str, Path, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Load and validate a SLO spec (path or already-parsed mapping).
+
+    Raises ``ValueError`` on unknown keys, non-positive ratios or
+    malformed floor tables — a typo'd spec must fail the gate loudly,
+    not silently check nothing.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            payload = json.loads(Path(source).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"SLO spec {source}: unreadable: {exc}") from exc
+    else:
+        payload = dict(source)
+    if not isinstance(payload, dict):
+        raise ValueError("SLO spec must be a JSON object")
+
+    spec: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key in _DOC_KEYS:
+            continue
+        if key in _RATIO_KEYS:
+            try:
+                ratio = float(value)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"SLO {key}: not a number: {value!r}") from exc
+            if ratio <= 0:
+                raise ValueError(f"SLO {key}: must be > 0, got {ratio}")
+            spec[key] = ratio
+        elif key in _MAPPING_KEYS:
+            if not isinstance(value, dict):
+                raise ValueError(f"SLO {key}: must be an object of floors")
+            floors: Dict[str, float] = {}
+            for name, floor in value.items():
+                try:
+                    floors[str(name)] = float(floor)
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"SLO {key}[{name}]: not a number: {floor!r}"
+                    ) from exc
+            spec[key] = floors
+        else:
+            raise ValueError(
+                f"SLO spec: unknown key {key!r} "
+                f"(known: {', '.join(_RATIO_KEYS + _MAPPING_KEYS)})"
+            )
+    return spec
+
+
+# ----------------------------------------------------------------------
+def _funnel_map(run: Mapping[str, Any]) -> Dict[str, int]:
+    return {
+        str(row["stage"]): int(row["count"])
+        for row in run.get("funnel", [])
+        if row.get("count") is not None
+    }
+
+
+def _gauge_map(metrics: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Unlabelled gauge values by name (the recall-floor surface)."""
+    gauges: Dict[str, float] = {}
+    for metric in metrics:
+        if metric.get("kind") == "gauge" and not metric.get("labels"):
+            gauges[str(metric["name"])] = float(metric.get("value", 0.0))
+    return gauges
+
+
+def check_regressions(
+    store: Any,
+    slo: Optional[Mapping[str, Any]] = None,
+    baseline_id: Optional[int] = None,
+    latest_id: Optional[int] = None,
+) -> RegressionReport:
+    """Check the latest history row of ``store`` against a baseline.
+
+    ``baseline_id``/``latest_id`` select specific history rows; by
+    default the first recorded run is the baseline and the most recent
+    is the candidate.  Raises ``ValueError`` when the store holds fewer
+    than two history rows (or an id does not exist) — the gate needs a
+    comparison to be meaningful.
+    """
+    spec = dict(DEFAULT_SLO) if slo is None else dict(slo)
+    runs = store.history_runs()
+    if not runs:
+        raise ValueError("store has no run history to check")
+    by_id = {run["history_id"]: run for run in runs}
+
+    def pick(history_id: Optional[int], default_index: int) -> Dict[str, Any]:
+        if history_id is None:
+            return runs[default_index]
+        if history_id not in by_id:
+            raise ValueError(
+                f"history #{history_id} not found "
+                f"(have {sorted(by_id)})"
+            )
+        return by_id[history_id]
+
+    baseline = pick(baseline_id, 0)
+    latest = pick(latest_id, -1)
+    if baseline["history_id"] == latest["history_id"] and len(runs) < 2:
+        raise ValueError(
+            "store has a single history row; record a second run "
+            "(or pass explicit --baseline/--latest) before gating"
+        )
+
+    report = RegressionReport(baseline=baseline, latest=latest)
+
+    def ratio_check(check: str, key: str, b: Any, l: Any, unit: str) -> None:
+        max_ratio = spec.get(key)
+        if max_ratio is None or b is None or l is None or float(b) <= 0:
+            return
+        report.checks.append(
+            f"{check}: {float(l):.6g}{unit} vs baseline "
+            f"{float(b):.6g}{unit} (max ×{max_ratio:g})"
+        )
+        if float(l) > max_ratio * float(b):
+            report.violations.append(
+                Violation(
+                    check,
+                    f"{float(l):.6g}{unit} exceeds "
+                    f"{max_ratio:g}× baseline ({float(b):.6g}{unit})",
+                )
+            )
+
+    ratio_check(
+        "wall_time", "wall_seconds_max_ratio",
+        baseline.get("wall_seconds"), latest.get("wall_seconds"), "s",
+    )
+    ratio_check(
+        "cpu_time", "cpu_seconds_max_ratio",
+        baseline.get("cpu_seconds"), latest.get("cpu_seconds"), "s",
+    )
+    ratio_check(
+        "peak_rss", "peak_rss_kb_max_ratio",
+        baseline.get("peak_rss_kb"), latest.get("peak_rss_kb"), "kB",
+    )
+
+    funnel_ratio = spec.get("funnel_min_ratio")
+    if funnel_ratio is not None:
+        base_funnel = _funnel_map(baseline)
+        latest_funnel = _funnel_map(latest)
+        for stage, base_count in sorted(base_funnel.items()):
+            if base_count <= 0:
+                continue
+            latest_count = latest_funnel.get(stage)
+            report.checks.append(
+                f"funnel[{stage}]: {latest_count} vs baseline "
+                f"{base_count} (min ×{funnel_ratio:g})"
+            )
+            if latest_count is None:
+                report.violations.append(
+                    Violation(
+                        f"funnel[{stage}]",
+                        f"stage present in baseline but missing from latest",
+                    )
+                )
+            elif latest_count < funnel_ratio * base_count:
+                report.violations.append(
+                    Violation(
+                        f"funnel[{stage}]",
+                        f"{latest_count} fell below {funnel_ratio:g}× "
+                        f"baseline ({base_count})",
+                    )
+                )
+
+    floors = spec.get("funnel_floors") or {}
+    if floors:
+        latest_funnel = _funnel_map(latest)
+        for stage, floor in sorted(floors.items()):
+            count = latest_funnel.get(stage)
+            report.checks.append(f"funnel_floor[{stage}]: {count} >= {floor:g}")
+            if count is None or count < floor:
+                report.violations.append(
+                    Violation(
+                        f"funnel_floor[{stage}]",
+                        f"count {count} below absolute floor {floor:g}",
+                    )
+                )
+
+    metric_floors = spec.get("metric_floors") or {}
+    if metric_floors:
+        gauges = _gauge_map(store.history_metrics(latest["history_id"]))
+        for name, floor in sorted(metric_floors.items()):
+            value = gauges.get(name)
+            report.checks.append(f"metric_floor[{name}]: {value} >= {floor:g}")
+            if value is None or value < floor:
+                report.violations.append(
+                    Violation(
+                        f"metric_floor[{name}]",
+                        f"value {value} below absolute floor {floor:g}",
+                    )
+                )
+
+    return report
+
+
+# ----------------------------------------------------------------------
+def diff_histories(
+    store: Any,
+    id_a: int,
+    id_b: int,
+    threshold: float = 0.10,
+) -> List[Dict[str, Any]]:
+    """Metric/funnel/resource deltas between two history rows.
+
+    Returns rows ``{kind, name, a, b, delta, ratio, flagged}`` —
+    ``flagged`` when the relative change exceeds ``threshold`` (or a
+    value appears/disappears).  The CLI prints flagged rows first.
+    """
+    runs = {run["history_id"]: run for run in store.history_runs()}
+    for history_id in (id_a, id_b):
+        if history_id not in runs:
+            raise ValueError(f"history #{history_id} not found")
+    run_a, run_b = runs[id_a], runs[id_b]
+
+    rows: List[Dict[str, Any]] = []
+
+    def add(kind: str, name: str, a: Optional[float], b: Optional[float]) -> None:
+        if a is None and b is None:
+            return
+        delta = None if a is None or b is None else b - a
+        ratio = (
+            None
+            if a is None or b is None or a == 0
+            else b / a
+        )
+        flagged = (
+            a is None
+            or b is None
+            or (ratio is not None and abs(ratio - 1.0) > threshold)
+            or (ratio is None and delta not in (None, 0))
+        )
+        rows.append(
+            {
+                "kind": kind, "name": name, "a": a, "b": b,
+                "delta": delta, "ratio": ratio, "flagged": bool(flagged),
+            }
+        )
+
+    for key, kind in (
+        ("wall_seconds", "resource"),
+        ("cpu_seconds", "resource"),
+        ("peak_rss_kb", "resource"),
+        ("n_quarantined", "resource"),
+    ):
+        add(kind, key, run_a.get(key), run_b.get(key))
+
+    funnel_a, funnel_b = _funnel_map(run_a), _funnel_map(run_b)
+    for stage in sorted(set(funnel_a) | set(funnel_b)):
+        add("funnel", stage, funnel_a.get(stage), funnel_b.get(stage))
+
+    gauges_a = _gauge_map(store.history_metrics(id_a))
+    gauges_b = _gauge_map(store.history_metrics(id_b))
+    for name in sorted(set(gauges_a) | set(gauges_b)):
+        if name.startswith("funnel."):
+            continue  # already covered by the funnel rows above
+        add("metric", name, gauges_a.get(name), gauges_b.get(name))
+
+    rows.sort(key=lambda r: (not r["flagged"], r["kind"], r["name"]))
+    return rows

@@ -25,6 +25,7 @@ epoch converges bit-identically to a run that was never interrupted.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -111,6 +112,9 @@ class IncrementalResult:
     #: The run's bit-identity contract surface (see
     #: :meth:`~repro.obs.RunTelemetry.measurement_view`).
     measurement: dict
+    #: The telemetry-history row recorded for this run
+    #: (``repro obs runs``; DESIGN.md §14).
+    history_id: Optional[int] = None
 
     @property
     def crawl_digest(self) -> str:
@@ -158,6 +162,7 @@ def run_incremental(
 
     own_store = not isinstance(store, RunStore)
     run_store = RunStore(store) if own_store else store
+    wall_start = time.perf_counter()
     try:
         run_store.bind_config(cfg)
         watermark = run_store.watermark("dataset")
@@ -249,6 +254,24 @@ def run_incremental(
                 run_store.set_watermark(
                     "pipeline", effective_epoch, cutoff_iso, run_id
                 )
+
+            # ---- telemetry history (DESIGN.md §14) -------------------
+            # Condensed span/metric/funnel/profile history rides in the
+            # SAME transaction: a crash inside this insert (the kill
+            # matrix fires store.history.recorded) rolls the whole
+            # epoch back to the previous watermark — run history can
+            # never exist for an epoch the store does not hold.
+            from ..obs.history import record_history, summarize_run
+
+            summary = summarize_run(
+                tele,
+                seed=cfg.seed,
+                epoch=effective_epoch,
+                wall_seconds=time.perf_counter() - wall_start,
+                label=f"epoch {effective_epoch}/{cfg.epoch_total}",
+            )
+            history_id = record_history(run_store, summary, run_id=run_id)
+            kill_point("store.history.recorded")
         size = run_store.size_bytes()
         tele.metrics.gauge("store.size_bytes").set(size)
 
@@ -261,6 +284,7 @@ def run_incremental(
             row_counts=counts,
             store_size_bytes=size,
             measurement=measurement,
+            history_id=history_id,
         )
     finally:
         if own_store:

@@ -67,6 +67,12 @@ _SALVAGE_TABLES = (
     "ingest_memo",
     "world_hashes",
     "blobs",
+    "history_runs",
+    "history_spans",
+    "history_metrics",
+    "history_funnel",
+    "profile_samples",
+    "bench_results",
 )
 
 #: Sidecar suffixes of a SQLite database in WAL mode.
@@ -407,6 +413,16 @@ def _trim_to_consistent(path: Path, report: RepairReport) -> None:
                 "DELETE FROM quarantine WHERE run_id NOT IN "
                 "(SELECT run_id FROM runs)"
             )
+            # History detail rows whose owning summary row was lost are
+            # unreferenceable; drop them so the salvage stays coherent.
+            for detail in (
+                "history_spans", "history_metrics",
+                "history_funnel", "profile_samples",
+            ):
+                store._execute(
+                    f"DELETE FROM {detail} WHERE history_id NOT IN "
+                    f"(SELECT history_id FROM history_runs)"
+                )
             mark = store.watermark("pipeline")
             if mark is not None:
                 runs = store.runs()

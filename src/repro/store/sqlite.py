@@ -171,6 +171,65 @@ CREATE TABLE IF NOT EXISTS blobs (
     payload TEXT NOT NULL,
     PRIMARY KEY (kind, key)
 );
+CREATE TABLE IF NOT EXISTS history_runs (
+    history_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER,
+    source TEXT NOT NULL,
+    label TEXT,
+    created_unix REAL NOT NULL,
+    seed INTEGER,
+    epoch INTEGER,
+    wall_seconds REAL,
+    cpu_seconds REAL,
+    peak_rss_kb INTEGER,
+    n_spans INTEGER NOT NULL,
+    n_events INTEGER NOT NULL,
+    n_records INTEGER,
+    n_quarantined INTEGER,
+    profiled INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS history_spans (
+    history_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    count INTEGER NOT NULL,
+    total_seconds REAL NOT NULL,
+    self_seconds REAL NOT NULL,
+    max_seconds REAL NOT NULL,
+    errors INTEGER NOT NULL,
+    cpu_seconds REAL,
+    rss_peak_kb INTEGER,
+    alloc_kb REAL,
+    PRIMARY KEY (history_id, name)
+);
+CREATE TABLE IF NOT EXISTS history_metrics (
+    history_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    labels TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (history_id, name, labels)
+);
+CREATE TABLE IF NOT EXISTS history_funnel (
+    history_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    stage TEXT NOT NULL,
+    count INTEGER,
+    PRIMARY KEY (history_id, seq)
+);
+CREATE TABLE IF NOT EXISTS profile_samples (
+    history_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    t REAL NOT NULL,
+    rss_kb REAL NOT NULL,
+    cpu_seconds REAL NOT NULL,
+    PRIMARY KEY (history_id, seq)
+);
+CREATE TABLE IF NOT EXISTS bench_results (
+    name TEXT NOT NULL,
+    recorded_unix REAL NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (name, recorded_unix)
+);
 """
 
 #: ``pack_id``/``member_index`` are part of the ingest-memo primary key,
@@ -842,6 +901,239 @@ class RunStore:
         )
         self.commit()
         return len(rows)
+
+    # ------------------------------------------------------------------
+    # Telemetry history (DESIGN.md §14): span summaries, deterministic
+    # metric snapshots, funnel rows, profile samples, bench results.
+    # ------------------------------------------------------------------
+    def save_history(self, summary, run_id: Optional[int] = None) -> int:
+        """Persist one :class:`~repro.obs.history.HistorySummary`.
+
+        Called inside :func:`~repro.store.run_incremental`'s atomic
+        epoch transaction (history inherits the crash-consistency
+        guarantees of DESIGN.md §13) or standalone by the ``repro obs``
+        ingesters; returns the new ``history_id``.
+        """
+        cursor = self._execute(
+            "INSERT INTO history_runs "
+            "(run_id, source, label, created_unix, seed, epoch, "
+            " wall_seconds, cpu_seconds, peak_rss_kb, n_spans, n_events, "
+            " n_records, n_quarantined, profiled) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                summary.source,
+                summary.label,
+                float(summary.created_unix),
+                summary.seed,
+                summary.epoch,
+                summary.wall_seconds,
+                summary.cpu_seconds,
+                summary.peak_rss_kb,
+                int(summary.n_spans),
+                int(summary.n_events),
+                summary.n_records,
+                summary.n_quarantined,
+                int(bool(summary.profiled)),
+            ),
+        )
+        history_id = int(cursor.lastrowid)
+        self._executemany(
+            "INSERT OR REPLACE INTO history_spans "
+            "(history_id, name, count, total_seconds, self_seconds, "
+            " max_seconds, errors, cpu_seconds, rss_peak_kb, alloc_kb) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    history_id, row["name"], int(row["count"]),
+                    float(row["total_seconds"]), float(row["self_seconds"]),
+                    float(row["max_seconds"]), int(row["errors"]),
+                    row.get("cpu_seconds"), row.get("rss_peak_kb"),
+                    row.get("alloc_kb"),
+                )
+                for row in summary.spans
+            ),
+        )
+        self._executemany(
+            "INSERT OR REPLACE INTO history_metrics "
+            "(history_id, name, labels, kind, payload) VALUES (?, ?, ?, ?, ?)",
+            (
+                (
+                    history_id,
+                    metric["name"],
+                    json.dumps(metric.get("labels", {}), sort_keys=True),
+                    metric.get("kind", ""),
+                    json.dumps(
+                        {
+                            k: v for k, v in metric.items()
+                            if k not in ("name", "labels", "kind")
+                        },
+                        sort_keys=True,
+                    ),
+                )
+                for metric in summary.metrics
+            ),
+        )
+        self._executemany(
+            "INSERT INTO history_funnel (history_id, seq, stage, count) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                (history_id, seq, row.get("stage", "?"), row.get("count"))
+                for seq, row in enumerate(summary.funnel)
+            ),
+        )
+        self._executemany(
+            "INSERT INTO profile_samples "
+            "(history_id, seq, t, rss_kb, cpu_seconds) VALUES (?, ?, ?, ?, ?)",
+            (
+                (
+                    history_id, seq, float(sample.get("t", 0.0)),
+                    float(sample.get("rss_kb", 0.0)),
+                    float(sample.get("cpu_seconds", 0.0)),
+                )
+                for seq, sample in enumerate(summary.samples)
+            ),
+        )
+        self.commit()
+        return history_id
+
+    def history_runs(self) -> List[Dict[str, Any]]:
+        """Every history row (funnel joined in), oldest first."""
+        rows = self._execute(
+            "SELECT history_id, run_id, source, label, created_unix, seed, "
+            "epoch, wall_seconds, cpu_seconds, peak_rss_kb, n_spans, "
+            "n_events, n_records, n_quarantined, profiled "
+            "FROM history_runs ORDER BY history_id"
+        ).fetchall()
+        funnels: Dict[int, List[Dict[str, Any]]] = {}
+        for history_id, stage, count in self._execute(
+            "SELECT history_id, stage, count FROM history_funnel "
+            "ORDER BY history_id, seq"
+        ):
+            funnels.setdefault(int(history_id), []).append(
+                {"stage": stage, "count": None if count is None else int(count)}
+            )
+        return [
+            {
+                "history_id": int(r[0]),
+                "run_id": None if r[1] is None else int(r[1]),
+                "source": r[2],
+                "label": r[3],
+                "created_unix": float(r[4]),
+                "seed": None if r[5] is None else int(r[5]),
+                "epoch": None if r[6] is None else int(r[6]),
+                "wall_seconds": None if r[7] is None else float(r[7]),
+                "cpu_seconds": None if r[8] is None else float(r[8]),
+                "peak_rss_kb": None if r[9] is None else int(r[9]),
+                "n_spans": int(r[10]),
+                "n_events": int(r[11]),
+                "n_records": None if r[12] is None else int(r[12]),
+                "n_quarantined": None if r[13] is None else int(r[13]),
+                "profiled": bool(r[14]),
+                "funnel": funnels.get(int(r[0]), []),
+            }
+            for r in rows
+        ]
+
+    def history_spans(self, history_id: int) -> List[Dict[str, Any]]:
+        """Per-name span summaries of one history row, hottest first."""
+        rows = self._execute(
+            "SELECT name, count, total_seconds, self_seconds, max_seconds, "
+            "errors, cpu_seconds, rss_peak_kb, alloc_kb FROM history_spans "
+            "WHERE history_id=? ORDER BY self_seconds DESC, name",
+            (int(history_id),),
+        ).fetchall()
+        return [
+            {
+                "name": r[0],
+                "count": int(r[1]),
+                "total_seconds": float(r[2]),
+                "self_seconds": float(r[3]),
+                "max_seconds": float(r[4]),
+                "errors": int(r[5]),
+                "cpu_seconds": None if r[6] is None else float(r[6]),
+                "rss_peak_kb": None if r[7] is None else int(r[7]),
+                "alloc_kb": None if r[8] is None else float(r[8]),
+            }
+            for r in rows
+        ]
+
+    def history_metrics(self, history_id: int) -> List[Dict[str, Any]]:
+        """One history row's deterministic metric snapshot, re-inflated."""
+        rows = self._execute(
+            "SELECT name, labels, kind, payload FROM history_metrics "
+            "WHERE history_id=? ORDER BY name, labels",
+            (int(history_id),),
+        ).fetchall()
+        try:
+            return [
+                {
+                    "name": r[0],
+                    "labels": json.loads(r[1]),
+                    "kind": r[2],
+                    **json.loads(r[3]),
+                }
+                for r in rows
+            ]
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: history metric payload is not JSON: {exc}"
+            ) from exc
+
+    def profile_samples(self, history_id: int) -> List[Dict[str, float]]:
+        """One history row's resource samples, in capture order."""
+        rows = self._execute(
+            "SELECT t, rss_kb, cpu_seconds FROM profile_samples "
+            "WHERE history_id=? ORDER BY seq",
+            (int(history_id),),
+        ).fetchall()
+        return [
+            {"t": float(r[0]), "rss_kb": float(r[1]), "cpu_seconds": float(r[2])}
+            for r in rows
+        ]
+
+    def ingest_bench(self, name: str, payload: Any, recorded_unix: float) -> bool:
+        """Record one benchmark result; idempotent on (name, timestamp)."""
+        try:
+            encoded = json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"bench result {name!r} is not JSON-serialisable: {exc}"
+            ) from exc
+        cursor = self._execute(
+            "INSERT OR IGNORE INTO bench_results (name, recorded_unix, payload) "
+            "VALUES (?, ?, ?)",
+            (name, float(recorded_unix), encoded),
+        )
+        self.commit()
+        return cursor.rowcount > 0
+
+    def bench_results(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Ingested bench results, oldest first (optionally one name)."""
+        if name is None:
+            rows = self._execute(
+                "SELECT name, recorded_unix, payload FROM bench_results "
+                "ORDER BY recorded_unix, name"
+            ).fetchall()
+        else:
+            rows = self._execute(
+                "SELECT name, recorded_unix, payload FROM bench_results "
+                "WHERE name=? ORDER BY recorded_unix",
+                (name,),
+            ).fetchall()
+        try:
+            return [
+                {
+                    "name": r[0],
+                    "recorded_unix": float(r[1]),
+                    "payload": json.loads(r[2]),
+                }
+                for r in rows
+            ]
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: bench result payload is not JSON: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

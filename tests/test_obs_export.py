@@ -7,6 +7,8 @@ import json
 import logging
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import RunTelemetry, Tracer, get_logger, setup_logging
 from repro.obs.export import (
@@ -15,6 +17,7 @@ from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
     build_manifest,
     deterministic_manifest_view,
+    iter_trace,
     manifest_path_for,
     read_trace,
     render_funnel,
@@ -237,3 +240,138 @@ class TestLogging:
         logger = logging.getLogger("repro")
         for handler in list(logger.handlers):
             logger.removeHandler(handler)
+
+
+class TestIterTrace:
+    """Streaming reader: equivalence with read_trace, tolerant modes."""
+
+    def test_streams_meta_then_spans(self, tmp_path):
+        path = write_trace(
+            tmp_path / "t.jsonl", _sample_tracer().spans(), meta={"seed": 7}
+        )
+        records = list(iter_trace(path))
+        assert records[0]["type"] == "meta"
+        assert [r["type"] for r in records[1:]] == ["span"] * 3
+
+    def test_is_a_lazy_iterator(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", _sample_tracer().spans())
+        it = iter_trace(path)
+        assert iter(it) is it
+        assert next(it)["type"] == "meta"
+
+    def test_strict_rejects_unknown_type(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta"}\n{"type": "flux"}\n')
+        with pytest.raises(ValueError, match="unknown trace record type"):
+            list(iter_trace(path))
+
+    def test_tolerant_skips_unknown_type_and_non_objects(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"type": "meta"}\n'
+            '{"type": "flux"}\n'
+            "[1, 2]\n"
+            '{"type": "span", "name": "a"}\n'
+        )
+        records = list(iter_trace(path, strict=False))
+        assert [r["type"] for r in records] == ["meta", "span"]
+
+    def test_malformed_json_raises_even_tolerant(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta"}\n{torn')
+        with pytest.raises(ValueError, match="not JSON"):
+            list(iter_trace(path, strict=False))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta"}\n\n\n{"type": "span"}\n')
+        assert len(list(iter_trace(path))) == 2
+
+    def test_tolerant_read_trace_missing_meta(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_trace(path, strict=False) == ({}, [])
+
+    @given(
+        spans=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "type": st.just("span"),
+                    "id": st.integers(min_value=1, max_value=10_000),
+                    "parent": st.none() | st.integers(1, 10_000),
+                    "name": st.text(
+                        alphabet=st.characters(
+                            blacklist_categories=("Cs",),
+                            blacklist_characters="\n\r",
+                        ),
+                        max_size=20,
+                    ),
+                    "duration": st.floats(0, 100, allow_nan=False),
+                }
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_streamed_equals_eager(self, spans, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+        write_trace(path, spans, meta={"seed": 1})
+        meta, eager = read_trace(path)
+        streamed = list(iter_trace(path))
+        assert streamed[0] == meta
+        assert streamed[1:] == eager
+        assert [s["name"] for s in eager] == [s["name"] for s in spans]
+
+
+class TestRendererHardening:
+    """repro trace must render weird traces, never crash on them."""
+
+    def test_render_empty_trace(self):
+        text = render_trace({}, [])
+        assert "0 spans" in text
+
+    def test_render_unknown_span_names(self):
+        spans = [
+            {"type": "span", "id": 1, "parent": None,
+             "name": "profile.sample", "duration": 0.0},
+            {"type": "span", "id": 2, "parent": None,
+             "name": "future.unknown", "duration": 0.1},
+        ]
+        text = render_trace({}, spans)
+        assert "profile.sample" in text
+        assert "future.unknown" in text
+
+    def test_render_missing_ids_and_names(self):
+        spans = [
+            {"type": "span", "duration": 0.1},
+            {"type": "span", "id": 5, "name": "x", "duration": 0.2},
+        ]
+        text = render_trace({}, spans)
+        assert "2 spans" in text
+
+    def test_render_dangling_parent(self):
+        spans = [
+            {"type": "span", "id": 2, "parent": 999, "name": "orphan",
+             "duration": 0.1},
+        ]
+        assert "orphan" in render_trace({}, spans)
+
+    def test_render_parent_cycle_terminates(self):
+        spans = [
+            {"type": "span", "id": 1, "parent": 2, "name": "a",
+             "duration": 0.1},
+            {"type": "span", "id": 2, "parent": 1, "name": "b",
+             "duration": 0.1},
+        ]
+        text = render_trace({}, spans)
+        assert "a" in text and "b" in text
+
+    def test_render_funnel_non_numeric_counts(self):
+        funnel = [
+            {"stage": "ok", "count": 10},
+            {"count": 5},
+            {"stage": "weird", "count": "NaNish"},
+            {"stage": "boolish", "count": True},
+        ]
+        text = render_funnel(funnel)
+        assert "ok" in text and "?" in text and "weird" in text
