@@ -57,6 +57,7 @@ for SIGINT, 143 for SIGTERM).
 from __future__ import annotations
 
 import argparse
+import os
 import time
 from pathlib import Path
 from typing import Optional, Sequence
@@ -186,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the crawl on N sharded worker threads with crawl->vision "
              "streaming overlap; results are bit-identical to the serial "
              "crawl (default: serial)",
+    )
+    p_run.add_argument(
+        "--executor", choices=("thread", "process"), default=None,
+        help="crawl executor backing --workers: 'thread' (sharded worker "
+             "threads, the default) or 'process' (fork-based process pool "
+             "with shared-memory rasters and work stealing); either way "
+             "the output is bit-identical to the serial crawl",
     )
     p_run.add_argument(
         "--store", type=Path, default=None, metavar="STORE",
@@ -461,7 +469,18 @@ def _write_trace_artifacts(args, report, telemetry, log) -> None:
         len(telemetry.tracer.spans()),
         telemetry.tracer.n_events,
     )
-    manifest = build_manifest(report, seed=args.seed, config=config)
+    workers = getattr(args, "workers", None)
+    executor = {
+        "executor": (
+            (getattr(args, "executor", None) or "thread")
+            if workers is not None else None
+        ),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+    }
+    manifest = build_manifest(
+        report, seed=args.seed, config=config, executor=executor
+    )
     manifest_path = write_manifest(manifest_path_for(trace_path), manifest)
     log.info("wrote run manifest %s", manifest_path)
 
@@ -601,6 +620,7 @@ def _run_store_command(args, log) -> int:
             annotate_n=args.annotate,
             strict=not args.lenient,
             workers=args.workers,
+            executor=getattr(args, "executor", None),
             telemetry=telemetry,
         )
     except StoreError as exc:
@@ -674,6 +694,14 @@ def _run_store_tool(args, log) -> int:
 
 def _fmt_opt(value, fmt: str, missing: str = "-") -> str:
     return missing if value is None else format(value, fmt)
+
+
+def _fmt_executor(run) -> str:
+    """``thread/4``-style executor column for the obs runs table."""
+    workers = run.get("workers")
+    if workers is None:
+        return "-"
+    return f"{run.get('executor') or 'thread'}/{workers}"
 
 
 def _print_span_table(rows, by: str, top_n: int) -> None:
@@ -811,7 +839,8 @@ def _run_obs_command(args, log) -> int:
                     return 0
                 print(f"{'id':>4} {'run':>4} {'epoch':>5} {'wall':>8} "
                       f"{'cpu':>8} {'rss MiB':>8} {'spans':>6} "
-                      f"{'records':>8} {'quar':>5} {'prof':>4}  label")
+                      f"{'records':>8} {'quar':>5} {'prof':>4} "
+                      f"{'exec':>10} {'cpus':>4}  label")
                 for run in runs:
                     rss = run.get("peak_rss_kb")
                     print(
@@ -826,7 +855,9 @@ def _run_obs_command(args, log) -> int:
                         f"{run['n_spans']:>6} "
                         f"{_fmt_opt(run.get('n_records'), '>8'):>8} "
                         f"{_fmt_opt(run.get('n_quarantined'), '>5'):>5} "
-                        f"{'yes' if run.get('profiled') else '-':>4}  "
+                        f"{'yes' if run.get('profiled') else '-':>4} "
+                        f"{_fmt_executor(run):>10} "
+                        f"{_fmt_opt(run.get('cpu_count'), '>4'):>4}  "
                         f"{run.get('label') or run.get('source')}"
                     )
                 return 0
@@ -855,6 +886,14 @@ def _run_obs_command(args, log) -> int:
                 print(f"history #{args.run_a} -> #{args.run_b}: "
                       f"{len(flagged)} of {len(rows)} quantities changed "
                       f"beyond ±{args.threshold:.0%}")
+                by_id = {r["history_id"]: r for r in store.history_runs()}
+                shapes = [
+                    f"#{hid} {_fmt_executor(by_id[hid])}"
+                    f" on {_fmt_opt(by_id[hid].get('cpu_count'), '>1')} cpu(s)"
+                    for hid in (args.run_a, args.run_b) if hid in by_id
+                ]
+                if shapes:
+                    print("executors: " + " vs ".join(shapes))
                 print(f"{'':>2} {'kind':<9} {'name':<36} {'a':>12} "
                       f"{'b':>12} {'ratio':>7}")
                 for row in rows:
@@ -946,6 +985,13 @@ def _dispatch(args, log) -> int:
     payload_profile = getattr(args, "payload_profile", None)
     drift_profile = getattr(args, "drift_profile", None)
 
+    if (getattr(args, "executor", None) == "process"
+            and getattr(args, "workers", None) is None):
+        raise SystemExit(
+            "--executor process requires --workers N "
+            "(see 'repro run --help')"
+        )
+
     if getattr(args, "store", None) is not None:
         return _run_store_command(args, log)
     if getattr(args, "epoch", None) is not None:
@@ -991,6 +1037,7 @@ def _dispatch(args, log) -> int:
             checkpoint=getattr(args, "resume", None),
             telemetry=telemetry,
             workers=getattr(args, "workers", None),
+            executor=getattr(args, "executor", None),
         )
     finally:
         _stop_profile(telemetry)

@@ -57,9 +57,10 @@ _SCHEMA_VERSION = 1
 
 #: WorldConfig fields excluded from the identity fingerprint: the epoch
 #: is the watermark axis (it *varies* across runs of one store), and the
-#: worker count is a pure throughput knob that provably cannot change
-#: any measurement (PR 5's bit-identity invariant).
-_FINGERPRINT_EXCLUDED = ("epoch", "crawl_workers")
+#: worker count and executor backend are pure throughput knobs that
+#: provably cannot change any measurement (the PR 5 / PR 10 bit-identity
+#: invariant), so thread and process runs may share one store.
+_FINGERPRINT_EXCLUDED = ("epoch", "crawl_workers", "crawl_executor")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -186,7 +187,10 @@ CREATE TABLE IF NOT EXISTS history_runs (
     n_events INTEGER NOT NULL,
     n_records INTEGER,
     n_quarantined INTEGER,
-    profiled INTEGER NOT NULL
+    profiled INTEGER NOT NULL,
+    executor TEXT,
+    workers INTEGER,
+    cpu_count INTEGER
 );
 CREATE TABLE IF NOT EXISTS history_spans (
     history_id INTEGER NOT NULL,
@@ -301,6 +305,25 @@ class RunStore:
                 f"{self.path}: schema version {row[0]} unsupported "
                 f"(expected {_SCHEMA_VERSION})"
             )
+        self._migrate_history_executor()
+
+    def _migrate_history_executor(self) -> None:
+        # Additive, nullable executor-shape columns (PR 10).  Idempotent
+        # ALTERs keep old stores readable without a version bump: a NULL
+        # simply means the row predates executor recording.
+        existing = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(history_runs)")
+        }
+        for name, kind in (
+            ("executor", "TEXT"),
+            ("workers", "INTEGER"),
+            ("cpu_count", "INTEGER"),
+        ):
+            if name not in existing:
+                self._conn.execute(
+                    f"ALTER TABLE history_runs ADD COLUMN {name} {kind}"
+                )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -918,8 +941,9 @@ class RunStore:
             "INSERT INTO history_runs "
             "(run_id, source, label, created_unix, seed, epoch, "
             " wall_seconds, cpu_seconds, peak_rss_kb, n_spans, n_events, "
-            " n_records, n_quarantined, profiled) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " n_records, n_quarantined, profiled, executor, workers, "
+            " cpu_count) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 run_id,
                 summary.source,
@@ -935,6 +959,9 @@ class RunStore:
                 summary.n_records,
                 summary.n_quarantined,
                 int(bool(summary.profiled)),
+                getattr(summary, "executor", None),
+                getattr(summary, "workers", None),
+                getattr(summary, "cpu_count", None),
             ),
         )
         history_id = int(cursor.lastrowid)
@@ -1002,7 +1029,8 @@ class RunStore:
         rows = self._execute(
             "SELECT history_id, run_id, source, label, created_unix, seed, "
             "epoch, wall_seconds, cpu_seconds, peak_rss_kb, n_spans, "
-            "n_events, n_records, n_quarantined, profiled "
+            "n_events, n_records, n_quarantined, profiled, executor, "
+            "workers, cpu_count "
             "FROM history_runs ORDER BY history_id"
         ).fetchall()
         funnels: Dict[int, List[Dict[str, Any]]] = {}
@@ -1030,6 +1058,9 @@ class RunStore:
                 "n_records": None if r[12] is None else int(r[12]),
                 "n_quarantined": None if r[13] is None else int(r[13]),
                 "profiled": bool(r[14]),
+                "executor": r[15],
+                "workers": None if r[16] is None else int(r[16]),
+                "cpu_count": None if r[17] is None else int(r[17]),
                 "funnel": funnels.get(int(r[0]), []),
             }
             for r in rows

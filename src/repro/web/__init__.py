@@ -22,7 +22,14 @@ from .crawler import (
     ShardState,
     content_digest,
 )
-from .parallel import Lane, ReorderBuffer, crawl_sharded, partition_lanes
+from .parallel import (
+    Lane,
+    ReorderBuffer,
+    crawl_sharded,
+    merge_outcomes,
+    partition_lanes,
+)
+from .procpool import crawl_procpool
 from .faults import (
     FAULT_PROFILES,
     DomainFaultSpec,
@@ -108,8 +115,10 @@ __all__ = [
     "all_services",
     "content_digest",
     "corrupt_raster",
+    "crawl_procpool",
     "crawl_sharded",
     "extract_urls",
+    "merge_outcomes",
     "fault_profile",
     "link_key",
     "normalize_url",

@@ -71,7 +71,13 @@ from .crawler import (
 )
 from .retry import BreakerBoard, CircuitBreaker
 
-__all__ = ["Lane", "ReorderBuffer", "crawl_sharded", "partition_lanes"]
+__all__ = [
+    "Lane",
+    "ReorderBuffer",
+    "crawl_sharded",
+    "merge_outcomes",
+    "partition_lanes",
+]
 
 
 @dataclass
@@ -143,6 +149,13 @@ class ReorderBuffer:
                 return
             self._slots[index] = payload
             self.peak_depth = max(self.peak_depth, len(self._slots))
+            # The bound is structural, not advisory: a full buffer only
+            # ever admits the one next-needed lane, so depth can exceed
+            # ``capacity`` by at most that single bypass slot.
+            assert len(self._slots) <= self.capacity + 1, (
+                f"reorder buffer holds {len(self._slots)} payloads "
+                f"against a capacity of {self.capacity}"
+            )
             self._cond.notify_all()
 
     def take(self) -> Any:
@@ -168,6 +181,35 @@ def partition_lanes(links: Sequence[LinkRecord]) -> List[Tuple[str, List[Tuple[i
     for index, link in enumerate(links):
         lanes.setdefault(link.url.host, []).append((index, link))
     return list(lanes.items())
+
+
+def merge_outcomes(all_outcomes: Sequence[LinkOutcome]):
+    """Accumulate index-sorted outcomes exactly like the serial loop.
+
+    Shared by the thread and process executors.  ``all_outcomes`` must
+    already be sorted by :attr:`LinkOutcome.index`.  Packs were
+    deduplicated shard-locally; re-deduplicating globally in index
+    order picks exactly the first-seen copy the serial loop keeps.
+    Returns ``(preview_images, pack_images, packs, attempt_logs,
+    quarantined_records)``.
+    """
+    preview_images = []
+    pack_images = []
+    packs = []
+    attempt_logs = []
+    quarantined = []
+    seen_pack_ids: Dict[int, None] = {}
+    for outcome in all_outcomes:
+        preview_images.extend(outcome.preview_images)
+        pack_images.extend(outcome.pack_images)
+        for pack in outcome.packs:
+            if pack.pack_id not in seen_pack_ids:
+                seen_pack_ids[pack.pack_id] = None
+                packs.append(pack)
+        if outcome.log is not None:
+            attempt_logs.append(outcome.log)
+        quarantined.extend(outcome.quarantined)
+    return preview_images, pack_images, packs, attempt_logs, quarantined
 
 
 def _lane_breakers(base: BreakerBoard, domain: str) -> BreakerBoard:
@@ -449,25 +491,12 @@ def crawl_sharded(
         (outcome for lane in lanes for outcome in lane.outcomes),
         key=lambda o: o.index,
     )
-    preview_images = []
-    pack_images = []
-    packs = []
-    attempt_logs = []
-    seen_pack_ids: Dict[int, None] = {}
-    for outcome in all_outcomes:
-        preview_images.extend(outcome.preview_images)
-        pack_images.extend(outcome.pack_images)
-        for pack in outcome.packs:
-            # Lane-local dedup kept each lane's first copy; re-deduplicate
-            # globally in index order — exactly the serial first-seen pick.
-            if pack.pack_id not in seen_pack_ids:
-                seen_pack_ids[pack.pack_id] = None
-                packs.append(pack)
-        if outcome.log is not None:
-            attempt_logs.append(outcome.log)
-        # Transfer ledger records in canonical order without re-firing
-        # their quarantine.admit events (the lane ledgers fired them).
-        quarantine.records.extend(outcome.quarantined)
+    # Transfer ledger records in canonical order without re-firing
+    # their quarantine.admit events (the lane ledgers fired them).
+    preview_images, pack_images, packs, attempt_logs, quarantined = (
+        merge_outcomes(all_outcomes)
+    )
+    quarantine.records.extend(quarantined)
 
     merged_stats = base_state.stats
     merged_board = base_state.breakers

@@ -1,0 +1,915 @@
+"""Process-backed crawl executor: true multi-core lanes, same bits.
+
+:func:`crawl_procpool` is the third executor behind
+:meth:`repro.web.crawler.Crawler.crawl` (serial loop, thread-sharded
+:func:`repro.web.parallel.crawl_sharded`, and this).  It exists because
+the thread executor cannot beat the GIL where Python dominates the
+per-link cost: lanes here run in **forked worker processes**, so link
+resolution, payload rendering, validation and digesting all execute on
+separate cores.
+
+The contract is unchanged and deliberately strict: for any worker
+count, fault/payload/drift profile and checkpoint state, the merged
+:class:`~repro.web.crawler.CrawlResult` — digest, attempt logs,
+quarantine ledger, stats — and the final checkpoint bytes are
+**bit-identical** to the serial loop (property-tested by
+``tests/test_procpool.py``).  Three mechanisms make that hold:
+
+* **Chunked work stealing.**  Links are partitioned into per-domain
+  lanes exactly as the thread executor does, but a *hot* lane may be
+  split into chunks at link-index boundaries so one giant domain no
+  longer bounds the crawl.  Splitting is gated conservatively
+  (:func:`_lane_splittable`): no fault injector (retry/breaker/backoff
+  decisions would couple chunks through the domain clock), no duplicate
+  URLs in the lane (occurrence counting is per-``resolve_links`` call),
+  and no non-pristine inherited breaker.  Under those conditions every
+  fetch settles on attempt 0 and advances the domain clock by exactly
+  ``attempt_cost``, so each chunk's start clock is precomputed by the
+  same repeated addition the serial loop performs — float-exact, never
+  ``count * cost`` — and chunk states compose associatively.
+
+* **Shared-memory raster arena.**  Workers move every raster they
+  materialised into one ``multiprocessing.shared_memory`` segment per
+  chunk and ship ``(name, offsets, shapes, dtypes)`` instead of pickled
+  pixel copies.  The parent re-attaches, **unlinks immediately** (so a
+  crash anywhere after adoption cannot leak ``/dev/shm``), and injects
+  zero-copy ndarray views back into the unpickled
+  :class:`~repro.media.image.SyntheticImage` objects; the segment is
+  closed when the last view dies (:class:`ArenaLease`).  Rasters that
+  were never materialised (ingest-memo replays) stay lazy and re-render
+  in the parent on demand — renders are pure functions of the latent.
+
+* **Canonical merge + in-order commit frontier.**  Chunk outcomes are
+  re-sorted by original link index and merged with the same
+  re-deduplication the thread executor uses; merged clocks/stats/
+  breakers compose per lane in sequence order.  Mid-crawl checkpoint
+  saves only ever include a lane's *prefix* of committed chunks, so
+  every periodic snapshot is a state the serial loop could have
+  reached — which is what makes checkpoints wire-compatible across
+  executors in both directions.
+
+Requires the ``fork`` start method (workers inherit the crawler and the
+simulated internet by memory; nothing unpicklable crosses a pipe).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context, resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..chaos.sites import kill_point
+from ..obs.trace import NULL_TRACER
+from .checkpoint import CrawlCheckpoint, link_key
+from .crawler import (
+    CrawlResult,
+    CrawlStats,
+    Crawler,
+    IngestMemo,
+    LinkOutcome,
+    LinkRecord,
+    ShardState,
+)
+from .parallel import (
+    _LaneCapture,
+    _compose_checkpoint,
+    _lane_breakers,
+    merge_outcomes,
+    partition_lanes,
+)
+from .retry import BreakerBoard, BreakerState
+
+__all__ = [
+    "ArenaLease",
+    "Chunk",
+    "adopt_arena",
+    "crawl_procpool",
+    "export_arena",
+    "plan_chunks",
+]
+
+#: Never split a lane into chunks smaller than this many links: the
+#: chunk fixed costs (state shipping, arena setup) would swamp the win.
+MIN_CHUNK_LINKS = 8
+
+#: Raster offsets inside an arena segment are aligned to this many
+#: bytes so injected views are safe for any dtype the media layer uses.
+_ARENA_ALIGN = 16
+
+#: Queue poll interval, seconds.  Workers use it to notice an orphaned
+#: parent (``getppid`` changed after a SIGKILL); the parent uses it to
+#: notice dead workers.  Pure liveness plumbing — no result ever waits
+#: on it.
+_POLL_SECONDS = 0.2
+
+
+# ----------------------------------------------------------------------
+# Chunk planning
+# ----------------------------------------------------------------------
+
+@dataclass
+class Chunk:
+    """One schedulable slice of a lane: contiguous links plus state.
+
+    ``seq`` orders chunks within their lane; an unsplit lane is exactly
+    one chunk with ``seq == 0``.  ``state`` is prepared by the parent
+    *before* forking (workers inherit it copy-on-write, mutate their
+    copy, and ship it back with the results).
+    """
+
+    chunk_id: int
+    lane_index: int
+    domain: str
+    seq: int
+    items: List[Tuple[int, LinkRecord]]
+    state: ShardState
+
+    @property
+    def n_links(self) -> int:
+        return len(self.items)
+
+
+def _breaker_pristine(breaker) -> bool:
+    """True when a breaker is indistinguishable from a fresh one."""
+    return (
+        breaker.state is BreakerState.CLOSED
+        and breaker.consecutive_failures == 0
+        and breaker.opened_at is None
+        and breaker.n_opens == 0
+    )
+
+
+def _lane_splittable(
+    domain: str,
+    items: Sequence[Tuple[int, LinkRecord]],
+    base_board: BreakerBoard,
+    fault_injector,
+) -> bool:
+    """Whether a lane's links may be resolved in independent chunks.
+
+    Splitting is only exact when no cross-link state can flow between
+    chunks:
+
+    * a fault injector couples links through retries, backoff delays
+      and breaker trips, all mediated by the running domain clock;
+    * duplicate URLs couple links through per-call occurrence counting
+      (checkpoint keys) — a later chunk would restart the count at 0;
+    * a non-pristine inherited breaker couples links through its
+      cooldown window.
+
+    When the gate refuses, the lane simply runs as one chunk — the
+    invariant never depends on splitting, only the speedup does.
+    """
+    if fault_injector is not None:
+        return False
+    seen_urls: set = set()
+    for _, link in items:
+        url = str(link.url)
+        if url in seen_urls:
+            return False
+        seen_urls.add(url)
+    for existing_domain, breaker in base_board:
+        if existing_domain == domain:
+            return _breaker_pristine(breaker)
+    return True
+
+
+def plan_chunks(
+    links: Sequence[LinkRecord],
+    *,
+    base_state: ShardState,
+    completed: Optional[Dict[str, dict]],
+    policy,
+    workers: int,
+    fault_injector=None,
+) -> Tuple[List[Chunk], List[List[int]]]:
+    """Partition ``links`` into lanes, then lanes into chunks.
+
+    Returns ``(chunks, lane_chunk_ids)`` where ``lane_chunk_ids[i]`` is
+    the ordered chunk ids of lane ``i``.  Chunk start clocks are
+    computed by the exact repeated addition the serial loop performs:
+    one ``+= attempt_cost`` per *non-replayed* link before the boundary
+    (binary-float sums and products differ, so ``count * cost`` would
+    break bit-identity).
+    """
+    lane_specs = partition_lanes(links)
+    chunks: List[Chunk] = []
+    lane_chunk_ids: List[List[int]] = []
+    threshold = base_state.breakers.failure_threshold
+    cooldown = base_state.breakers.cooldown
+    for lane_index, (domain, items) in enumerate(lane_specs):
+        n_parts = 1
+        if (
+            workers > 1
+            and len(items) >= 2 * MIN_CHUNK_LINKS
+            and _lane_splittable(domain, items, base_state.breakers, fault_injector)
+        ):
+            n_parts = min(workers * 2, len(items) // MIN_CHUNK_LINKS)
+        ids: List[int] = []
+        if n_parts <= 1:
+            clocks: Dict[str, float] = {}
+            if domain in base_state.clocks:
+                clocks[domain] = base_state.clocks[domain]
+            state = ShardState(
+                stats=CrawlStats(),
+                breakers=_lane_breakers(base_state.breakers, domain),
+                clocks=clocks,
+                budget_spent=0,
+                base_clock=base_state.base_clock,
+            )
+            ids.append(len(chunks))
+            chunks.append(
+                Chunk(
+                    chunk_id=len(chunks), lane_index=lane_index, domain=domain,
+                    seq=0, items=list(items), state=state,
+                )
+            )
+        else:
+            n = len(items)
+            sizes = [
+                n // n_parts + (1 if i < n % n_parts else 0)
+                for i in range(n_parts)
+            ]
+            clock = base_state.clock_for(domain)
+            pos = 0
+            for seq, size in enumerate(sizes):
+                part = list(items[pos:pos + size])
+                pos += size
+                state = ShardState(
+                    stats=CrawlStats(),
+                    breakers=BreakerBoard(
+                        failure_threshold=threshold, cooldown=cooldown
+                    ),
+                    clocks={},
+                    budget_spent=0,
+                    # The chunk's domain clock starts where the serial
+                    # loop would stand at this boundary.
+                    base_clock=clock,
+                )
+                ids.append(len(chunks))
+                chunks.append(
+                    Chunk(
+                        chunk_id=len(chunks), lane_index=lane_index,
+                        domain=domain, seq=seq, items=part, state=state,
+                    )
+                )
+                for _, link in part:
+                    # Replayed occurrences do not advance the clock in
+                    # the serial loop either.  The gate guarantees the
+                    # URLs are distinct, so occurrence is always 0.
+                    if (
+                        completed is None
+                        or link_key(str(link.url), 0) not in completed
+                    ):
+                        clock += policy.attempt_cost
+        lane_chunk_ids.append(ids)
+    return chunks, lane_chunk_ids
+
+
+# ----------------------------------------------------------------------
+# Shared-memory raster arena
+# ----------------------------------------------------------------------
+
+def _iter_chunk_images(outcomes: Sequence[LinkOutcome]):
+    """Unique :class:`SyntheticImage` objects in canonical traversal order.
+
+    The order is a pure function of the outcome structure, so the
+    parent (walking the *unpickled* outcomes) visits the same sequence
+    the worker did — pickle preserves shared references within one
+    payload, which is what keys arena slots to images without ids.
+    """
+    seen: set = set()
+    for outcome in outcomes:
+        for crawled in outcome.preview_images:
+            if id(crawled.image) not in seen:
+                seen.add(id(crawled.image))
+                yield crawled.image
+        for crawled in outcome.pack_images:
+            if id(crawled.image) not in seen:
+                seen.add(id(crawled.image))
+                yield crawled.image
+        for pack in outcome.packs:
+            for image in pack.images:
+                if id(image) not in seen:
+                    seen.add(id(image))
+                    yield image
+
+
+def export_arena(outcomes: Sequence[LinkOutcome]) -> Optional[dict]:
+    """Move every materialised raster into one shared-memory segment.
+
+    Returns the arena descriptor ``{"name", "size", "slots"}`` (or
+    ``None`` when nothing was materialised) where each slot is
+    ``(traversal_index, offset, shape, dtype_str)``.  The images'
+    in-object pixel references are dropped, so pickling the outcomes
+    ships latents and digests — never pixel bytes.  On any failure the
+    segment is unlinked before the exception propagates.
+    """
+    materialized: List[Tuple[int, Any]] = []
+    for index, image in enumerate(_iter_chunk_images(outcomes)):
+        if image._pixels is not None:
+            materialized.append((index, image))
+    if not materialized:
+        return None
+    slots: List[Tuple[int, int, tuple, str]] = []
+    total = 0
+    for index, image in materialized:
+        raster = image._pixels
+        slots.append((index, total, tuple(raster.shape), raster.dtype.str))
+        padded = (raster.nbytes + _ARENA_ALIGN - 1) // _ARENA_ALIGN * _ARENA_ALIGN
+        total += max(padded, _ARENA_ALIGN)
+    shm = SharedMemory(create=True, size=total)
+    try:
+        for (index, image), (_, offset, shape, dtype_str) in zip(
+            materialized, slots
+        ):
+            raster = image._pixels
+            view = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                              buffer=shm.buf, offset=offset)
+            view[...] = raster
+            del view
+            image._pixels = None
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        raise
+    descriptor = {"name": shm.name, "size": total, "slots": slots}
+    shm.close()
+    return descriptor
+
+
+class ArenaLease:
+    """Keeps an adopted segment mapped until every injected view dies.
+
+    ``SharedMemory.close`` raises ``BufferError`` while ndarray views
+    into its buffer are alive, so the parent cannot close eagerly; each
+    view instead carries a ``weakref.finalize`` that calls
+    :meth:`release`, and the mapping closes when the count reaches
+    zero.  The file itself is already unlinked — the lease only holds
+    address space, never a ``/dev/shm`` entry.
+    """
+
+    def __init__(self, shm: SharedMemory, n_views: int):
+        self._shm = shm
+        self._live = n_views
+
+    def release(self) -> None:
+        self._live -= 1
+        if self._live <= 0:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - shutdown-order race
+                pass
+
+
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink of a segment the parent never adopted."""
+    try:
+        shm = SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+        pass
+
+
+def adopt_arena(arena: Optional[dict], outcomes: Sequence[LinkOutcome]) -> int:
+    """Attach a shipped arena, unlink it, and inject raster views.
+
+    Unlinking happens *before* views are handed out: from this point no
+    crash can leak the segment (the memory lives until the last mapping
+    closes).  Returns the number of bytes adopted.
+    """
+    if arena is None:
+        return 0
+    import weakref
+
+    shm = SharedMemory(name=arena["name"])
+    # Unlinking also unregisters the name from the resource tracker.
+    # Worker create and parent attach both registered it, but the
+    # tracker's cache is a set — forked workers share the parent's
+    # tracker (``ensure_running`` pre-fork) — so the single unregister
+    # leaves nothing behind to warn about at shutdown.
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - double recovery
+        pass
+    slots = arena["slots"]
+    lease = ArenaLease(shm, n_views=len(slots))
+    by_index = {index: (offset, shape, dtype_str)
+                for index, offset, shape, dtype_str in slots}
+    for index, image in enumerate(_iter_chunk_images(outcomes)):
+        slot = by_index.pop(index, None)
+        if slot is None:
+            continue
+        offset, shape, dtype_str = slot
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                          buffer=shm.buf, offset=offset)
+        weakref.finalize(view, lease.release)
+        image._pixels = view
+        if not by_index:
+            break
+    # Slots that found no image would mean the traversal diverged
+    # between worker and parent — release their refs so the mapping
+    # still closes, then fail loudly.
+    for _ in range(len(by_index)):
+        lease.release()
+    if by_index:  # pragma: no cover - structural invariant
+        raise RuntimeError(
+            f"arena slots {sorted(by_index)} had no matching image; "
+            "worker/parent traversal order diverged"
+        )
+    return int(arena["size"])
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+class _DeltaIngestMemo:
+    """Worker-side overlay over the forked ingest memo.
+
+    After the fork each worker holds a private copy of the crawler's
+    :class:`~repro.web.crawler.IngestMemo`; recording into it would be
+    invisible to the parent (and to the persistent store).  The overlay
+    reads through to the inherited base but collects fresh recordings
+    separately, so each chunk result ships only its delta and the
+    parent preloads it into the real memo.
+    """
+
+    def __init__(self, base: IngestMemo):
+        self._base = base
+        self._fresh: Dict[tuple, tuple] = {}
+
+    def lookup(self, key):
+        outcome = self._fresh.get(key)
+        if outcome is not None:
+            return outcome
+        return self._base.lookup(key)
+
+    def record_ok(self, key, digest: str) -> None:
+        self._fresh[key] = ("ok", digest)
+
+    def record_error(self, key, error: BaseException) -> None:
+        self._fresh[key] = ("err", type(error).__name__, str(error))
+
+    def drain(self) -> List[Tuple[tuple, tuple]]:
+        items = list(self._fresh.items())
+        self._fresh.clear()
+        return items
+
+
+def _run_chunk(
+    crawler: Crawler,
+    chunk: Chunk,
+    completed: Optional[Dict[str, dict]],
+    stage: str,
+    delta: Optional[_DeltaIngestMemo],
+) -> dict:
+    """Resolve one chunk's links against its own state; package results."""
+    from ..core.quarantine import Quarantine
+
+    ledger = Quarantine()
+    t0 = time.perf_counter()
+    outcomes = list(
+        crawler.resolve_links(
+            chunk.items, chunk.state, completed=completed,
+            quarantine=ledger, stage=stage, tracer=NULL_TRACER,
+        )
+    )
+    wall = time.perf_counter() - t0
+    arena = export_arena(outcomes)
+    return {
+        "outcomes": outcomes,
+        "state": chunk.state,
+        "arena": arena,
+        "memo": delta.drain() if delta is not None else [],
+        "wall": wall,
+    }
+
+
+def _worker_main(crawler, chunks, completed, stage, task_q, result_q) -> None:
+    """Worker loop: pull chunk ids, resolve, ship results.
+
+    Exits on the ``None`` sentinel, or hard (``os._exit``) when the
+    parent disappears — a SIGKILLed parent (the chaos harness does
+    exactly this) must not strand crawling orphans.
+    """
+    parent_pid = os.getppid()
+    delta: Optional[_DeltaIngestMemo] = None
+    if crawler._ingest_memo is not None:
+        delta = _DeltaIngestMemo(crawler._ingest_memo)
+        crawler._ingest_memo = delta
+    while True:
+        try:
+            task = task_q.get(timeout=_POLL_SECONDS)
+        except queue_mod.Empty:
+            if os.getppid() != parent_pid:
+                result_q.cancel_join_thread()
+                os._exit(1)
+            continue
+        if task is None:
+            return
+        try:
+            payload = _run_chunk(crawler, chunks[task], completed, stage, delta)
+        except BaseException as exc:
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+            result_q.put(("error", task, os.getpid(), exc))
+            continue
+        try:
+            result_q.put(("ok", task, os.getpid(), payload))
+        except BaseException:  # pragma: no cover - parent gone mid-put
+            if payload["arena"] is not None:
+                _unlink_segment(payload["arena"]["name"])
+            raise
+
+
+# ----------------------------------------------------------------------
+# Parent scheduler
+# ----------------------------------------------------------------------
+
+@dataclass
+class _LaneProgress:
+    """Commit-frontier bookkeeping for one lane in the parent."""
+
+    n_chunks: int
+    #: Received-but-uncommitted chunk payloads, keyed by ``seq``.
+    waiting: Dict[int, dict] = field(default_factory=dict)
+    #: Next ``seq`` to commit (all earlier chunks are committed).
+    frontier: int = 0
+    #: Outcomes of committed chunks, concatenated in ``seq`` order.
+    outcomes: List[LinkOutcome] = field(default_factory=list)
+    #: Summed wall seconds of committed chunks.
+    wall: float = 0.0
+    #: Worker pid per committed ``seq`` (steal accounting).
+    pids: List[int] = field(default_factory=list)
+    accum: Optional[ShardState] = None
+
+    @property
+    def done(self) -> bool:
+        return self.frontier >= self.n_chunks
+
+
+def crawl_procpool(
+    crawler: Crawler,
+    links: Sequence[LinkRecord],
+    *,
+    workers: int,
+    checkpoint: Optional[Union[str, CrawlCheckpoint]] = None,
+    checkpoint_every: int = 16,
+    quarantine=None,
+    stage: str = "url_crawl",
+    tracer=None,
+    on_lane: Optional[Callable[[int, str, List[LinkOutcome]], None]] = None,
+    metrics=None,
+    stream_capacity: Optional[int] = None,
+) -> CrawlResult:
+    """Crawl ``links`` on forked worker processes; bit-identical to serial.
+
+    The scheduler dispatches chunks for a sliding *window* of lanes
+    (``stream_capacity`` wide, default ``max(2, workers)``): later lanes
+    are withheld until earlier ones stream out through ``on_lane``, so
+    the number of completed-but-unstreamed lanes is bounded — the
+    process-side analogue of the thread executor's
+    :class:`~repro.web.parallel.ReorderBuffer` bound.  Idle workers
+    steal whatever chunk is next in the shared queue, including the
+    split chunks of a hot lane.
+
+    ``metrics`` receives ``crawl.lanes`` (identical to the thread
+    executor) plus the executor-shape gauges ``crawl.chunks``,
+    ``crawl.steals``, ``crawl.arena_bytes`` and ``crawl.arena_segments``
+    — all excluded from deterministic measurement views.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if crawler._policy.retry_budget is not None:
+        raise ValueError(
+            "a global retry_budget is spent in serial link order and cannot "
+            "be decomposed across lanes; use workers=None (serial) or a "
+            "policy without retry_budget"
+        )
+    if "fork" not in get_all_start_methods():
+        raise RuntimeError(
+            "the process executor requires the fork start method "
+            "(workers inherit the crawler and world by memory)"
+        )
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if quarantine is None:
+        from ..core.quarantine import Quarantine
+
+        quarantine = Quarantine()
+    quarantine_start = len(quarantine.records)
+
+    if checkpoint is None:
+        ckpt: Optional[CrawlCheckpoint] = None
+    elif isinstance(checkpoint, CrawlCheckpoint):
+        ckpt = checkpoint
+    else:
+        ckpt = CrawlCheckpoint.load(checkpoint)
+
+    base_state = crawler.restore_state(ckpt)
+    base_breakers_snapshot = base_state.breakers.snapshot()
+    completed = dict(ckpt.completed) if ckpt is not None else None
+
+    chunks, lane_chunk_ids = plan_chunks(
+        links,
+        base_state=base_state,
+        completed=completed,
+        policy=crawler._policy,
+        workers=workers,
+        fault_injector=crawler._internet.fault_injector,
+    )
+    n_lanes = len(lane_chunk_ids)
+    lane_domains = [chunks[ids[0]].domain for ids in lane_chunk_ids]
+
+    if metrics is not None:
+        # Same pure value the thread executor records (domain count is a
+        # function of the link sequence alone, never of the executor).
+        metrics.gauge("crawl.lanes").set(n_lanes)
+
+    progress = [
+        _LaneProgress(n_chunks=len(ids)) for ids in lane_chunk_ids
+    ]
+    window = stream_capacity if stream_capacity is not None else max(2, workers)
+    if window < 1:
+        raise ValueError("stream_capacity must be >= 1")
+
+    entries_since_save = 0
+    arena_bytes = 0
+    arena_segments = 0
+    held_peak = 0
+
+    def flush_and_save() -> None:
+        """Compose base ⊕ committed lane prefixes and save atomically."""
+        assert ckpt is not None
+        captures: List[_LaneCapture] = []
+        for lane in progress:
+            if lane.accum is None:
+                continue
+            captures.append(
+                _LaneCapture(
+                    stats=lane.accum.stats,
+                    breakers=dict(
+                        lane.accum.breakers.snapshot()["breakers"]
+                    ),
+                    clocks=dict(lane.accum.clocks),
+                    budget_spent=lane.accum.budget_spent,
+                )
+            )
+        _compose_checkpoint(ckpt, base_state, base_breakers_snapshot, captures)
+        ckpt.save()
+
+    def commit_ready(lane_index: int) -> None:
+        """Advance one lane's frontier over received chunk payloads."""
+        nonlocal entries_since_save
+        lane = progress[lane_index]
+        while lane.frontier in lane.waiting:
+            payload = lane.waiting.pop(lane.frontier)
+            state: ShardState = payload["state"]
+            if lane.accum is None:
+                lane.accum = ShardState(
+                    stats=CrawlStats(),
+                    breakers=BreakerBoard(
+                        failure_threshold=base_state.breakers.failure_threshold,
+                        cooldown=base_state.breakers.cooldown,
+                    ),
+                    clocks={},
+                    budget_spent=0,
+                    base_clock=base_state.base_clock,
+                )
+            lane.accum.stats = lane.accum.stats.merge(state.stats)
+            lane.accum.breakers = lane.accum.breakers.merge(state.breakers)
+            lane.accum.clocks.update(state.clocks)
+            lane.accum.budget_spent += state.budget_spent
+            for outcome in payload["outcomes"]:
+                lane.outcomes.append(outcome)
+                if ckpt is not None and outcome.entry is not None:
+                    ckpt.completed[outcome.key] = outcome.entry
+                    entries_since_save += 1
+            lane.wall += payload["wall"]
+            lane.pids.append(payload["pid"])
+            lane.frontier += 1
+
+    ctx = get_context("fork")
+    procs: List[Any] = []
+    task_q = None
+    result_q = None
+    try:
+        if chunks:
+            # Start the tracker before forking so every worker talks to
+            # the same resource-tracker process: the worker's segment
+            # registration and the parent's unlink/unregister then pair
+            # up, and a SIGKILLed parent still gets its segments
+            # reclaimed by the shared tracker.
+            resource_tracker.ensure_running()
+            task_q = ctx.Queue()
+            result_q = ctx.Queue()
+            n_procs = max(1, min(workers, len(chunks)))
+            procs = [
+                ctx.Process(
+                    target=_worker_main,
+                    args=(crawler, chunks, completed, stage, task_q, result_q),
+                    daemon=True,
+                    name=f"crawl-proc-{i}",
+                )
+                for i in range(n_procs)
+            ]
+            for proc in procs:
+                proc.start()
+
+            dispatch_ptr = 0
+            release_ptr = 0
+
+            def dispatch_window() -> None:
+                nonlocal dispatch_ptr
+                while (
+                    dispatch_ptr < n_lanes
+                    and dispatch_ptr < release_ptr + window
+                ):
+                    for chunk_id in lane_chunk_ids[dispatch_ptr]:
+                        task_q.put(chunk_id)
+                    dispatch_ptr += 1
+
+            dispatch_window()
+            received = 0
+            while received < len(chunks):
+                try:
+                    kind, chunk_id, pid, payload = result_q.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except queue_mod.Empty:
+                    dead = [p for p in procs if p.exitcode not in (None, 0)]
+                    if dead:
+                        raise RuntimeError(
+                            "crawl worker process(es) died: "
+                            + ", ".join(
+                                f"pid={p.pid} exitcode={p.exitcode}"
+                                for p in dead
+                            )
+                        )
+                    if not any(p.is_alive() for p in procs):
+                        raise RuntimeError(
+                            "all crawl workers exited with results missing"
+                        )
+                    continue
+                if kind == "error":
+                    raise payload
+                received += 1
+                chunk = chunks[chunk_id]
+                adopted = adopt_arena(payload["arena"], payload["outcomes"])
+                if adopted:
+                    arena_bytes += adopted
+                    arena_segments += 1
+                if payload["memo"] and crawler._ingest_memo is not None:
+                    crawler._ingest_memo.preload(payload["memo"])
+                payload["pid"] = pid
+                with tracer.span(
+                    "crawl.chunk",
+                    lane=chunk.lane_index,
+                    domain=chunk.domain,
+                    seq=chunk.seq,
+                    pid=pid,
+                    n_links=chunk.n_links,
+                    wall=payload["wall"],
+                ):
+                    pass
+                lane = progress[chunk.lane_index]
+                lane.waiting[chunk.seq] = payload
+                commit_ready(chunk.lane_index)
+                if (
+                    ckpt is not None
+                    and entries_since_save >= max(1, checkpoint_every)
+                ):
+                    entries_since_save = 0
+                    flush_and_save()
+                    kill_point("crawl.checkpoint.saved")
+                held = sum(
+                    1 for lane in progress[release_ptr:] if lane.done
+                )
+                held_peak = max(held_peak, held)
+                # The window bounds completed-but-unstreamed lanes the
+                # same way the thread executor's reorder buffer does.
+                assert held <= window, (
+                    f"{held} completed lanes held against a window of "
+                    f"{window}"
+                )
+                while release_ptr < n_lanes and progress[release_ptr].done:
+                    lane = progress[release_ptr]
+                    if metrics is not None:
+                        metrics.histogram("crawl.lane_seconds").observe(
+                            lane.wall
+                        )
+                    if on_lane is not None:
+                        on_lane(
+                            release_ptr,
+                            lane_domains[release_ptr],
+                            lane.outcomes,
+                        )
+                    release_ptr += 1
+                    dispatch_window()
+
+            for _ in procs:
+                task_q.put(None)
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:  # pragma: no cover - defensive
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+    except BaseException:
+        # Leave a resumable checkpoint covering every committed chunk,
+        # then tear the pool down and reclaim any unadopted segments.
+        if ckpt is not None:
+            try:
+                flush_and_save()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=1.0)
+        if result_q is not None:
+            while True:
+                try:
+                    kind, _, _, payload = result_q.get_nowait()
+                except (queue_mod.Empty, OSError, EOFError):
+                    break
+                if kind == "ok" and payload.get("arena") is not None:
+                    _unlink_segment(payload["arena"]["name"])
+        raise
+    finally:
+        for q in (task_q, result_q):
+            if q is not None:
+                q.close()
+
+    if metrics is not None:
+        steals = 0
+        for ids, lane in zip(lane_chunk_ids, progress):
+            if len(ids) > 1 and lane.pids:
+                steals += sum(
+                    1 for pid in lane.pids[1:] if pid != lane.pids[0]
+                )
+        metrics.gauge("crawl.chunks").set(len(chunks))
+        metrics.gauge("crawl.steals").set(steals)
+        metrics.gauge("crawl.arena_bytes").set(arena_bytes)
+        metrics.gauge("crawl.arena_segments").set(arena_segments)
+        metrics.gauge("crawl.stream_queue_depth_peak").set(held_peak)
+
+    # One deterministic crash instant between "every chunk committed"
+    # and "final checkpoint synced": recovery from a SIGKILL here must
+    # replay to bit-identical output (kill-matrix coverage).
+    kill_point("crawl.procpool.merge")
+
+    all_outcomes = sorted(
+        (outcome for lane in progress for outcome in lane.outcomes),
+        key=lambda o: o.index,
+    )
+    preview_images, pack_images, packs, attempt_logs, quarantined = (
+        merge_outcomes(all_outcomes)
+    )
+    quarantine.records.extend(quarantined)
+
+    merged_state = ShardState(
+        stats=base_state.stats,
+        breakers=base_state.breakers,
+        clocks=dict(base_state.clocks),
+        budget_spent=base_state.budget_spent,
+        base_clock=base_state.base_clock,
+    )
+    for lane in progress:
+        if lane.accum is None:
+            continue
+        merged_state.stats = merged_state.stats.merge(lane.accum.stats)
+        merged_state.breakers = merged_state.breakers.merge(lane.accum.breakers)
+        merged_state.clocks.update(lane.accum.clocks)
+        merged_state.budget_spent += lane.accum.budget_spent
+
+    if ckpt is not None:
+        Crawler.sync_checkpoint(ckpt, merged_state)
+        ckpt.save()
+
+    return CrawlResult(
+        preview_images=preview_images,
+        pack_images=pack_images,
+        packs=packs,
+        stats=merged_state.stats,
+        attempt_logs=attempt_logs,
+        quarantined=list(quarantine.records[quarantine_start:]),
+        breaker_summary=merged_state.breakers.as_dict(),
+    )

@@ -132,10 +132,22 @@ class TestManifest:
         versions = self._manifest()["versions"]
         assert set(versions) >= {"python", "numpy", "scipy", "repro"}
 
+    def test_executor_block_recorded(self):
+        tele = RunTelemetry(tracer=_sample_tracer())
+        shape = {"executor": "process", "workers": 4, "cpu_count": 8}
+        manifest = build_manifest(
+            _FakeReport(tele), seed=7, config={}, executor=shape
+        )
+        assert manifest["executor"] == shape
+        assert tuple(manifest.keys()) == MANIFEST_KEYS
+        # Serial runs still carry the key, holding None.
+        assert self._manifest()["executor"] is None
+
     def test_deterministic_view_strips_timing(self):
         manifest = self._manifest()
         view = deterministic_manifest_view(manifest)
-        for absent in ("created_unix", "versions", "slowest_spans", "n_spans", "n_events"):
+        for absent in ("created_unix", "versions", "slowest_spans",
+                       "n_spans", "n_events", "executor"):
             assert absent not in view
         names = [m["name"] for m in view["metrics"]]
         assert "pipeline.stage_seconds" not in names

@@ -1,0 +1,474 @@
+"""Process-pool crawl executor: bit-identity, arenas, wire compat.
+
+Covers the PR's tentpole invariants for :mod:`repro.web.procpool`:
+
+* ``crawl_procpool`` output (digest, stats, attempt logs, breaker
+  summary, quarantine ledger) equals the serial crawl for worker counts
+  {1, 2, 4} under every fault and payload profile;
+* :class:`ShardState` survives a pickle round trip exactly (the chunk
+  protocol ships it both ways);
+* the shared-memory raster arena round-trips bytes/dtype/shape
+  identically (property-tested over random rasters) and never leaks a
+  ``/dev/shm`` segment — on normal exit *and* on a BaseException unwind
+  out of the scheduler;
+* checkpoints are wire-compatible across executors in both directions;
+* the pipeline's ``measurement_view`` / cache statistics are identical
+  for serial vs thread vs process runs (streamed NSFV + provenance);
+* a pathological single-domain world splits into chunks, bounds its
+  held-lane window, and still produces serial bits (the configurable
+  ReorderBuffer bound regression).
+"""
+
+import glob
+import os
+import pickle
+import types
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quarantine import Quarantine
+from repro.web import (
+    Crawler,
+    PayloadFaultInjector,
+    RetryPolicy,
+    crawl_procpool,
+    payload_profile,
+)
+from repro.web.procpool import (
+    MIN_CHUNK_LINKS,
+    adopt_arena,
+    export_arena,
+    plan_chunks,
+)
+
+from .test_web_checkpoint import (
+    PROFILES,
+    build_net_and_links,
+    crawler_for,
+    set_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def arena():
+    net, links = build_net_and_links()
+    return net, links
+
+
+def set_payload(net, profile):
+    if profile == "none":
+        net.set_payload_injector(None)
+    else:
+        net.set_payload_injector(
+            PayloadFaultInjector(payload_profile(profile), seed=33)
+        )
+
+
+def quarantine_view(quarantine):
+    return [record.to_dict() for record in quarantine.records]
+
+
+def crawl_serial(net, links):
+    quarantine = Quarantine()
+    result = crawler_for(net).crawl(links, quarantine=quarantine)
+    return result, quarantine
+
+
+def crawl_process(net, links, workers, **kwargs):
+    quarantine = Quarantine()
+    result = crawl_procpool(
+        crawler_for(net), links, workers=workers, quarantine=quarantine,
+        **kwargs,
+    )
+    return result, quarantine
+
+
+def shm_segments():
+    """Names of live POSIX shared-memory segments (leak detector)."""
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+# ----------------------------------------------------------------------
+# ShardState pickling
+# ----------------------------------------------------------------------
+
+class TestShardStatePickle:
+    def test_fresh_state_round_trip(self, arena):
+        net, _ = arena
+        state = crawler_for(net).restore_state(None)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.stats == state.stats
+        assert clone.breakers.snapshot() == state.breakers.snapshot()
+        assert clone.clocks == state.clocks
+        assert clone.budget_spent == state.budget_spent
+        assert clone.base_clock == state.base_clock
+
+    def test_crawled_state_round_trip(self, arena):
+        """A state that has actually crawled (non-trivial stats, clocks,
+        breaker history) must survive the pickle both ways bit-exactly."""
+        net, links = arena
+        set_profile(net, "hostile")
+        try:
+            crawler = crawler_for(net)
+            state = crawler.restore_state(None)
+            for _ in crawler.resolve_links(
+                list(enumerate(links)), state, quarantine=Quarantine()
+            ):
+                pass
+        finally:
+            set_profile(net, "none")
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.stats == state.stats
+        assert clone.breakers.snapshot() == state.breakers.snapshot()
+        assert clone.clocks == state.clocks
+        assert clone.budget_spent == state.budget_spent
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena round trip
+# ----------------------------------------------------------------------
+
+def _fake_outcome(rasters):
+    """A minimal outcome-shaped object for the arena walker."""
+    images = [types.SimpleNamespace(_pixels=r) for r in rasters]
+    previews = [types.SimpleNamespace(image=img) for img in images]
+    return types.SimpleNamespace(
+        preview_images=previews, pack_images=[], packs=[]
+    ), images
+
+
+_DTYPES = st.sampled_from(["float32", "float64", "uint8", "int16"])
+_SHAPES = st.tuples(
+    st.integers(1, 12), st.integers(1, 12), st.integers(1, 4)
+)
+
+
+class TestArenaRoundTrip:
+    @given(specs=st.lists(st.tuples(_SHAPES, _DTYPES), min_size=1, max_size=6),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_bytes_dtype_shape_identity(self, specs, seed):
+        """Property: any raster set survives export → adopt bit-exactly
+        and the segment is gone from /dev/shm before views are used."""
+        rng = np.random.default_rng(seed)
+        rasters = []
+        for shape, dtype in specs:
+            if dtype.startswith("float"):
+                raster = rng.random(shape).astype(dtype)
+            else:
+                raster = rng.integers(0, 100, size=shape).astype(dtype)
+            rasters.append(raster)
+        originals = [r.copy() for r in rasters]
+        outcome, images = _fake_outcome(rasters)
+
+        before = shm_segments()
+        descriptor = export_arena([outcome])
+        assert descriptor is not None
+        # Export strips the in-object rasters: pickling the outcomes
+        # must never ship pixel bytes.
+        assert all(img._pixels is None for img in images)
+        adopted = adopt_arena(descriptor, [outcome])
+        assert adopted == descriptor["size"]
+        # Adoption unlinks immediately: no new /dev/shm entries remain
+        # even while the views are alive.
+        assert shm_segments() <= before
+        for img, original in zip(images, originals):
+            assert img._pixels is not None
+            assert img._pixels.shape == original.shape
+            assert img._pixels.dtype == original.dtype
+            assert img._pixels.tobytes() == original.tobytes()
+
+    def test_nothing_materialised_exports_none(self):
+        outcome, _ = _fake_outcome([])
+        assert export_arena([outcome]) is None
+        assert adopt_arena(None, [outcome]) == 0
+
+    def test_export_unlinks_on_failure(self):
+        """A BaseException mid-export must not leak the segment."""
+        raster = np.ones((4, 4), dtype=np.float64)
+
+        class Hostile:
+            # Looks enough like an ndarray for slot planning, then blows
+            # up when the copy into the segment dereferences it.
+            shape = raster.shape
+            dtype = raster.dtype
+            nbytes = raster.nbytes
+
+            def __array__(self, *a, **k):
+                raise KeyboardInterrupt("mid-export death")
+
+        outcome, _ = _fake_outcome([Hostile()])
+        before = shm_segments()
+        with pytest.raises(BaseException):
+            export_arena([outcome])
+        assert shm_segments() <= before
+
+
+# ----------------------------------------------------------------------
+# Process crawl ≡ serial crawl
+# ----------------------------------------------------------------------
+
+class TestProcpoolEqualsSerial:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_all_profiles_all_worker_counts(self, arena, profile, workers):
+        net, links = arena
+        set_profile(net, profile)
+        set_payload(net, "hostile")
+        before = shm_segments()
+        try:
+            serial, q_serial = crawl_serial(net, links)
+            parallel, q_parallel = crawl_process(net, links, workers)
+            assert parallel.digest() == serial.digest()
+            assert parallel.stats == serial.stats
+            assert parallel.breaker_summary == serial.breaker_summary
+            assert [log.to_dict() for log in parallel.attempt_logs] == [
+                log.to_dict() for log in serial.attempt_logs
+            ]
+            assert quarantine_view(q_parallel) == quarantine_view(q_serial)
+        finally:
+            set_profile(net, "none")
+            set_payload(net, "none")
+        assert shm_segments() <= before
+
+    def test_crawler_dispatch_via_executor_kwarg(self, arena):
+        net, links = arena
+        serial, _ = crawl_serial(net, links)
+        quarantine = Quarantine()
+        result = crawler_for(net).crawl(
+            links, workers=2, executor="process", quarantine=quarantine
+        )
+        assert result.digest() == serial.digest()
+
+    def test_process_requires_workers(self, arena):
+        net, links = arena
+        with pytest.raises(ValueError):
+            crawler_for(net).crawl(links, executor="process")
+        with pytest.raises(ValueError):
+            crawler_for(net).crawl(links, workers=2, executor="bogus")
+
+    def test_global_retry_budget_rejected(self, arena):
+        net, links = arena
+        crawler = Crawler(
+            net,
+            retry_policy=RetryPolicy(max_attempts=2, retry_budget=5),
+            breaker_threshold=4,
+            breaker_cooldown=5.0,
+        )
+        with pytest.raises(ValueError):
+            crawl_procpool(crawler, links, workers=2)
+
+    def test_scheduler_unwind_leaks_no_segments(self, arena):
+        """A consumer raising out of on_lane unwinds the whole pool;
+        adopted and undelivered arenas must all be reclaimed."""
+        from repro.web import partition_lanes
+
+        net, links = arena
+        n_lanes = len(partition_lanes(links))
+        before = shm_segments()
+
+        def explode(index, domain, outcomes):
+            # Raise on the final lane: every chunk has been received by
+            # then, so no worker is mid-export when the pool unwinds
+            # (a mid-export SIGTERM is reclaimed by the resource
+            # tracker, but only at interpreter shutdown).
+            if index == n_lanes - 1:
+                raise RuntimeError("downstream consumer died")
+
+        with pytest.raises(RuntimeError, match="consumer died"):
+            crawl_procpool(
+                crawler_for(net), links, workers=2, on_lane=explode
+            )
+        assert shm_segments() <= before
+
+
+# ----------------------------------------------------------------------
+# Checkpoint wire compatibility across executors
+# ----------------------------------------------------------------------
+
+class TestCheckpointWireCompat:
+    @pytest.mark.parametrize("profile", ["none", "hostile"])
+    @pytest.mark.parametrize(
+        "first,second",
+        [("process", None), (None, "process"),
+         ("process", "thread"), ("thread", "process")],
+    )
+    def test_cross_executor_resume(self, arena, tmp_path, profile, first, second):
+        """Interrupt under one executor, resume under the other:
+        byte-identical to an uninterrupted serial crawl."""
+        net, links = arena
+        set_profile(net, profile)
+        try:
+            baseline, _ = crawl_serial(net, links)
+            path = tmp_path / f"ckpt-{profile}-{first}-{second}.json"
+            split = len(links) // 2
+            quarantine = Quarantine()
+
+            def run(executor, subset):
+                workers = None if executor is None else 2
+                return crawler_for(net).crawl(
+                    subset, checkpoint=str(path), checkpoint_every=3,
+                    quarantine=quarantine, workers=workers,
+                    executor=executor if executor else None,
+                )
+
+            run(first, links[:split])
+            resumed = run(second, links)
+            assert resumed.digest() == baseline.digest()
+            assert resumed.stats == baseline.stats
+            assert resumed.breaker_summary == baseline.breaker_summary
+        finally:
+            set_profile(net, "none")
+
+    def test_checkpoint_file_identical_across_executors(self, arena, tmp_path):
+        net, links = arena
+        set_profile(net, "flaky")
+        try:
+            blobs = {}
+            for key, kwargs in {
+                "serial": {},
+                "thread": {"workers": 3},
+                "process": {"workers": 3, "executor": "process"},
+            }.items():
+                path = tmp_path / f"full-{key}.json"
+                crawler_for(net).crawl(links, checkpoint=str(path), **kwargs)
+                blobs[key] = path.read_bytes()
+            assert blobs["serial"] == blobs["thread"] == blobs["process"]
+        finally:
+            set_profile(net, "none")
+
+
+# ----------------------------------------------------------------------
+# Single-domain pathology: chunk splitting + bounded windows
+# ----------------------------------------------------------------------
+
+def _single_domain_world(n_links):
+    from datetime import datetime
+
+    from repro.media import ImageKind, SyntheticImage, sample_latent
+    from repro.web import (
+        HostingService, LinkRecord, ServiceKind, SimulatedInternet,
+    )
+
+    rng = np.random.default_rng(5)
+    net = SimulatedInternet(seed=13)
+    host = HostingService(
+        "mono", "mono.com", ServiceKind.IMAGE_SHARING, 1.0, 0.0, 0.0
+    )
+    links = []
+    for i in range(n_links):
+        image = SyntheticImage(
+            9000 + i, sample_latent(rng, ImageKind.MODEL_NUDE, model_id=1)
+        )
+        url = net.host_on_service(host, image, datetime(2014, 5, 1), False)
+        links.append(LinkRecord(url=url, link_kind="preview"))
+    return net, links
+
+
+class TestSingleDomainPathology:
+    def test_hot_lane_splits_into_chunks(self):
+        net, links = _single_domain_world(4 * MIN_CHUNK_LINKS)
+        crawler = crawler_for(net)
+        state = crawler.restore_state(None)
+        chunks, lane_ids = plan_chunks(
+            links, base_state=state, completed=None,
+            policy=crawler._policy, workers=4, fault_injector=None,
+        )
+        assert len(lane_ids) == 1
+        assert len(chunks) > 1
+        assert all(c.n_links >= 1 for c in chunks)
+        assert sorted(i for c in chunks for i, _ in c.items) == list(
+            range(len(links))
+        )
+
+    def test_fault_injector_vetoes_splitting(self):
+        net, links = _single_domain_world(4 * MIN_CHUNK_LINKS)
+        set_profile(net, "hostile")
+        try:
+            crawler = crawler_for(net)
+            state = crawler.restore_state(None)
+            chunks, _ = plan_chunks(
+                links, base_state=state, completed=None,
+                policy=crawler._policy, workers=4,
+                fault_injector=net.fault_injector,
+            )
+            assert len(chunks) == 1
+        finally:
+            set_profile(net, "none")
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_single_domain_bits_match_serial(self, workers):
+        net, links = _single_domain_world(4 * MIN_CHUNK_LINKS)
+        serial, q_serial = crawl_serial(net, links)
+        parallel, q_parallel = crawl_process(net, links, workers)
+        assert parallel.digest() == serial.digest()
+        assert parallel.stats == serial.stats
+        assert quarantine_view(q_parallel) == quarantine_view(q_serial)
+
+    def test_single_domain_thread_executor_stream_capacity_one(self):
+        """Regression: a one-lane world with the tightest stream bound
+        must not deadlock the thread executor's reorder buffer."""
+        from repro.web import crawl_sharded
+
+        net, links = _single_domain_world(2 * MIN_CHUNK_LINKS)
+        serial, _ = crawl_serial(net, links)
+        result = crawl_sharded(
+            crawler_for(net), links, workers=4, stream_capacity=1
+        )
+        assert result.digest() == serial.digest()
+
+    def test_procpool_stream_capacity_one(self):
+        net, links = _single_domain_world(2 * MIN_CHUNK_LINKS)
+        serial, _ = crawl_serial(net, links)
+        result, _ = crawl_process(net, links, 4, stream_capacity=1)
+        assert result.digest() == serial.digest()
+
+
+# ----------------------------------------------------------------------
+# Pipeline-level identity (streamed NSFV + provenance)
+# ----------------------------------------------------------------------
+
+class TestPipelineIdentity:
+    @pytest.mark.parametrize("profile", ["none", "hostile"])
+    def test_measurement_views_match_across_executors(self, profile):
+        from repro import build_world, run_pipeline
+        from repro.obs import RunTelemetry, Tracer
+        from repro.synth.world import WorldConfig
+
+        kwargs = dict(seed=3, scale=0.008)
+        if profile == "hostile":
+            kwargs.update(fault_profile="hostile", payload_profile="dirty")
+
+        views = {}
+        for key, run_kwargs in {
+            "serial": {},
+            "thread2": {"workers": 2},
+            "process2": {"workers": 2, "executor": "process"},
+            "process4": {"workers": 4, "executor": "process"},
+        }.items():
+            world = build_world(WorldConfig(**kwargs))
+            telemetry = RunTelemetry(tracer=Tracer())
+            report = run_pipeline(world, telemetry=telemetry, **run_kwargs)
+            views[key] = {
+                "digest": report.crawl.digest(),
+                "quarantine": [
+                    r.to_dict() for r in report.quarantine.records
+                ],
+                "measurement": telemetry.measurement_view(),
+                # Streamed NSFV/provenance must not change what the
+                # vision cache sees: stats are part of the contract.
+                "cache": report.vision_cache_stats.as_dict()
+                if report.vision_cache_stats is not None else None,
+            }
+        assert views["serial"] == views["thread2"]
+        assert views["serial"] == views["process2"]
+        assert views["serial"] == views["process4"]
+
+    def test_world_config_executor_default(self):
+        from repro.synth.world import WorldConfig
+
+        assert WorldConfig(seed=1).crawl_executor == "thread"
+        with pytest.raises(ValueError):
+            WorldConfig(seed=1, crawl_executor="bogus")
